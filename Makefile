@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: build test bench examples figures vet fuzz clean
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# One benchmark per paper table/figure; logs print the paper-style tables.
+bench:
+	go test -bench=. -benchmem ./...
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/portability
+	go run ./examples/unrolling
+	go run ./examples/simulate
+	go run ./examples/customarch
+	go run ./examples/newaccel
+
+# Regenerate every figure with the quick profile; JSON+SVG land in results/.
+figures:
+	go run ./cmd/lisa-bench -exp all -out results -shapes
+
+fuzz:
+	go test -fuzz FuzzParseDOT -fuzztime 30s ./internal/dfg/
+	go test -fuzz FuzzReadJSON -fuzztime 30s ./internal/dfg/
+	go test -fuzz FuzzParseSpec -fuzztime 30s ./internal/arch/
+
+clean:
+	rm -rf results *.model.json

@@ -1,0 +1,140 @@
+// Command lisa-bench regenerates the paper's evaluation tables and figures
+// as text output.
+//
+// Usage:
+//
+//	lisa-bench -exp fig9b                 one panel, quick profile
+//	lisa-bench -exp all                   everything (takes a while)
+//	lisa-bench -exp table2 -profile paper Table II at paper scale (hours)
+//
+// Experiments: fig9a..fig9g, fig10, fig11, fig12, fig13, table2, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/experiments"
+	"github.com/lisa-go/lisa/internal/power"
+)
+
+func main() {
+	exp := flag.String("exp", "fig9b", "experiment id (fig9a..g, fig10, fig11, fig12, fig13, table2, all)")
+	profile := flag.String("profile", "quick", "budget profile: quick|paper")
+	seed := flag.Int64("seed", 1, "profile seed")
+	outDir := flag.String("out", "", "also write <exp>.json and <exp>.svg files into this directory")
+	shapes := flag.Bool("shapes", false, "evaluate the paper-shape assertions on Fig. 9 results")
+	flag.Parse()
+
+	var p experiments.Profile
+	switch *profile {
+	case "quick":
+		p = experiments.Quick()
+	case "paper":
+		p = experiments.Paper()
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+	p.Seed = *seed
+	ctx := experiments.NewContext(p)
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "fig9g",
+			"fig10", "fig11", "table2", "fig12", "fig13"}
+	}
+	var fig9Cmps []*experiments.Comparison
+	for _, id := range ids {
+		switch {
+		case strings.HasPrefix(id, "fig9"):
+			spec, ok := experiments.Fig9SpecByID("Fig9" + strings.TrimPrefix(id, "fig9"))
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q", id))
+			}
+			cmp := ctx.Fig9(spec)
+			cmp.Render(os.Stdout)
+			fig9Cmps = append(fig9Cmps, cmp)
+			exportComparison(*outDir, id, cmp)
+			fmt.Println()
+		case id == "fig10":
+			for _, panel := range []string{"Fig9a", "Fig9b"} {
+				spec, _ := experiments.Fig9SpecByID(panel)
+				cmp := ctx.Fig9(spec)
+				rows := experiments.Fig10(cmp, power.DefaultParams())
+				experiments.RenderPower(os.Stdout, "Fig10/"+spec.Arch.Name(), cmp.Methods, rows)
+				fmt.Println()
+			}
+		case id == "fig11":
+			for _, panel := range []string{"Fig9a", "Fig9b"} {
+				spec, _ := experiments.Fig9SpecByID(panel)
+				cmp := ctx.Fig9(spec)
+				rows := experiments.Fig11(cmp)
+				experiments.RenderTimes(os.Stdout, "Fig11/"+spec.Arch.Name(), cmp.Methods, rows)
+				fmt.Println()
+			}
+		case id == "fig12":
+			for _, ar := range []arch.Arch{arch.NewBaseline4x4(), arch.NewLessRouting4x4()} {
+				ctx.Fig12(ar).Render(os.Stdout)
+				fmt.Println()
+			}
+		case id == "fig13":
+			orig, unrolled := ctx.Fig13()
+			orig.Render(os.Stdout)
+			unrolled.Render(os.Stdout)
+			fmt.Println()
+		case id == "table2":
+			rows := ctx.Table2(arch.PaperTargets())
+			experiments.RenderTable2(os.Stdout, rows)
+			fmt.Println()
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", id))
+		}
+	}
+	if len(fig9Cmps) > 0 {
+		fmt.Println(experiments.Summarize(fig9Cmps).String())
+	}
+	if *shapes && len(fig9Cmps) > 0 {
+		fmt.Println()
+		experiments.RenderShapes(os.Stdout, experiments.CheckFig9(fig9Cmps))
+		for _, cmp := range fig9Cmps {
+			if cmp.Arch.MaxII() == 1 && len(cmp.Rows) >= 12 {
+				experiments.RenderShapes(os.Stdout, experiments.CheckFig9g(cmp))
+			}
+		}
+	}
+}
+
+// exportComparison writes the machine-readable artifacts when -out is set.
+func exportComparison(dir, id string, cmp *experiments.Comparison) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	jf, err := os.Create(filepath.Join(dir, id+".json"))
+	if err != nil {
+		fatal(err)
+	}
+	defer jf.Close()
+	if err := cmp.WriteJSON(jf); err != nil {
+		fatal(err)
+	}
+	sf, err := os.Create(filepath.Join(dir, id+".svg"))
+	if err != nil {
+		fatal(err)
+	}
+	defer sf.Close()
+	if err := cmp.WriteSVG(sf); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lisa-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Custom architecture: bring a JSON *description* of an accelerator — no
+// code — and get the full LISA pipeline on it. The spec below defines a
+// heterogeneous 4×4 fabric with diagonal links, two registers per PE, memory
+// on the left column, and multipliers only on the top two rows.
+//
+//	go run ./examples/customarch
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	lisa "github.com/lisa-go/lisa"
+)
+
+const spec = `{
+  "name": "hetero-diag-4x4",
+  "rows": 4, "cols": 4,
+  "maxII": 16,
+  "defaults": {"registers": 2, "ops": ["add", "sub", "cmp", "select", "const"]},
+  "memory": {"policy": "leftColumn"},
+  "links": {"mesh": true, "diagonal": true},
+  "pes": [
+    {"at": [0, 1], "ops": ["mul", "add", "const"]},
+    {"at": [0, 2], "ops": ["mul", "add", "const"]},
+    {"at": [0, 3], "ops": ["mul", "add", "const"]},
+    {"at": [1, 1], "ops": ["mul", "add", "const"]},
+    {"at": [1, 2], "ops": ["mul", "add", "const"]},
+    {"at": [1, 3], "ops": ["mul", "add", "const"]}
+  ]
+}`
+
+func main() {
+	ar, err := lisa.LoadArch(strings.NewReader(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := lisa.New(ar)
+	fw.MapOpts.Seed = 9
+	fw.MapOpts.MaxMoves = 2000
+
+	fmt.Printf("loaded %q: %d PEs, max II %d\n\n", ar.Name(), ar.NumPEs(), ar.MaxII())
+	fmt.Printf("%-10s %6s %6s   %s\n", "kernel", "LISA", "SA", "(II; 0 = cannot map)")
+	for _, name := range []string{"gemm", "syrk", "gesummv", "doitgen"} {
+		g, err := lisa.Kernel(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := fw.Map(g)
+		base := fw.MapBaseline(g)
+		fmt.Printf("%-10s %6d %6d\n", name, res.II, base.II)
+		if res.OK {
+			if err := fw.Verify(g, &res); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			// The strongest check: execute the mapping and compare outputs.
+			if _, err := fw.Simulate(g, &res, 4); err != nil {
+				log.Fatalf("%s: simulation: %v", name, err)
+			}
+		}
+	}
+	fmt.Println("\nevery successful mapping above was verified structurally and executed")
+	fmt.Println("cycle-accurately for 4 pipelined iterations against the DFG semantics.")
+}

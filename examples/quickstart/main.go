@@ -1,0 +1,38 @@
+// Quickstart: map the gemm kernel onto the 4×4 baseline CGRA with the
+// label-aware mapper, verify the mapping, and print the schedule.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lisa "github.com/lisa-go/lisa"
+)
+
+func main() {
+	// Pick an accelerator and create a framework instance for it. An
+	// untrained framework already maps with the paper's label
+	// initialization; Train (see examples/newaccel) sharpens the labels.
+	fw := lisa.New(lisa.CGRA4x4())
+	fw.MapOpts.Seed = 42
+
+	g, err := lisa.Kernel("gemm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mapping", g.Summary())
+
+	res := fw.Map(g)
+	if !res.OK {
+		log.Fatalf("no mapping found (tried IIs %v)", res.TriedIIs)
+	}
+	if err := fw.Verify(g, &res); err != nil {
+		log.Fatalf("mapping failed independent verification: %v", err)
+	}
+
+	fmt.Print(lisa.Describe(fw.Arch, g, &res))
+	fmt.Printf("\nThe loop kernel initiates a new iteration every %d cycles (II=%d).\n",
+		res.II, res.II)
+}

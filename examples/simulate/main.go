@@ -1,0 +1,56 @@
+// Simulate: map a kernel, then *execute* the mapping cycle-accurately for a
+// few pipelined loop iterations. The simulator pushes every value hop-by-hop
+// along its committed route, enforces per-cycle resource capacities under
+// full iteration overlap, and checks the store output stream against a
+// direct evaluation of the DFG — an end-to-end proof that the schedule
+// computes the right thing, not just that it "fits".
+//
+//	go run ./examples/simulate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lisa "github.com/lisa-go/lisa"
+)
+
+func main() {
+	fw := lisa.New(lisa.CGRA4x4())
+	fw.MapOpts.Seed = 5
+
+	g, err := lisa.Kernel("atax")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := fw.Map(g)
+	if !res.OK {
+		log.Fatal("mapping failed")
+	}
+
+	u, err := fw.Utilization(g, &res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mapping:", u)
+	fmt.Println("\nschedule (one iteration):")
+	fmt.Println(fw.ScheduleTable(g, &res))
+
+	const iterations = 6
+	trace, err := fw.Simulate(g, &res, iterations)
+	if err != nil {
+		log.Fatalf("simulation failed: %v", err)
+	}
+	fmt.Printf("simulated %d pipelined iterations in %d cycles (II=%d)\n",
+		trace.Iterations, trace.TotalCycles, trace.II)
+	fmt.Printf("output stream (%d store events, values verified against the DFG):\n",
+		len(trace.Stores))
+	for _, e := range trace.Stores {
+		fmt.Printf("  cycle %3d  iter %d  node %-8s  mem[%d] <- %d\n",
+			e.Cycle, e.Iteration, g.Nodes[e.Node].Name, e.Addr, e.Value)
+	}
+
+	serial := iterations * u.ScheduleLength
+	fmt.Printf("\npipelining: %d cycles total vs %d if iterations ran back-to-back (%.1fx)\n",
+		trace.TotalCycles, serial, float64(serial)/float64(trace.TotalCycles))
+}

@@ -1,0 +1,3 @@
+module github.com/lisa-go/lisa
+
+go 1.22

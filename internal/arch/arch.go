@@ -1,0 +1,108 @@
+// Package arch models the spatial accelerators the paper evaluates: a
+// parametric 2-D mesh CGRA (the four baseline/variant CGRAs of §VI) and the
+// 5×5 systolic array with Revel-like fixed-function compute units. Each
+// architecture knows how to build its time-extended routing resource graph
+// for a target II; everything else (mapping, labels, GNN) is
+// architecture-agnostic, which is the point of a portable compiler.
+package arch
+
+import (
+	"fmt"
+
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/rgraph"
+)
+
+// Arch describes a spatial accelerator to the mapper and label machinery.
+type Arch interface {
+	// Name identifies the architecture in experiment output.
+	Name() string
+	// NumPEs returns the processing-element count.
+	NumPEs() int
+	// Coord returns the (row, col) grid position of a PE.
+	Coord(pe int) (row, col int)
+	// SpatialDistance is the label-space distance between two PEs; 2-D mesh
+	// accelerators use Manhattan distance (paper §III-A).
+	SpatialDistance(a, b int) int
+	// SupportsOp reports whether an op kind may be placed on the PE.
+	SupportsOp(pe int, op dfg.OpKind) bool
+	// MaxII is the largest initiation interval the configuration memory
+	// supports (24 entries for the CGRAs; 1 for the systolic array).
+	MaxII() int
+	// MinII is the resource-minimal II for the DFG (paper §V-C: nodes
+	// divided by PEs, extended with the memory-port bound).
+	MinII(g *dfg.Graph) int
+	// BuildRGraph materializes the modulo routing resource graph for ii.
+	BuildRGraph(ii int) *rgraph.Graph
+}
+
+// MemPolicy selects which PEs can access on-chip memory.
+type MemPolicy uint8
+
+const (
+	// MemAll lets every PE execute loads and stores (baseline CGRAs).
+	MemAll MemPolicy = iota
+	// MemLeftColumn restricts memory ops to column-0 PEs ("less memory
+	// connectivity" CGRA in §VI).
+	MemLeftColumn
+)
+
+func (p MemPolicy) String() string {
+	if p == MemLeftColumn {
+		return "left-column"
+	}
+	return "all-PEs"
+}
+
+// allOpsMask is the op bitmask for a fully general ALU PE.
+func allOpsMask() uint32 {
+	var m uint32
+	for k := 0; k < dfg.NumOpKinds(); k++ {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+func maskOf(ops ...dfg.OpKind) uint32 {
+	var m uint32
+	for _, k := range ops {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+// ceilDiv returns ceil(a/b).
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// manhattan computes |r1-r2| + |c1-c2|.
+func manhattan(r1, c1, r2, c2 int) int {
+	dr := r1 - r2
+	if dr < 0 {
+		dr = -dr
+	}
+	dc := c1 - c2
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// Validate sanity-checks an architecture (used by tests and the CLI).
+func Validate(a Arch) error {
+	if a.NumPEs() <= 0 {
+		return fmt.Errorf("arch %s: no PEs", a.Name())
+	}
+	if a.MaxII() < 1 {
+		return fmt.Errorf("arch %s: MaxII < 1", a.Name())
+	}
+	g := a.BuildRGraph(1)
+	if g.NumNodes() == 0 {
+		return fmt.Errorf("arch %s: empty resource graph", a.Name())
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package arch
+
+import (
+	"fmt"
+
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/rgraph"
+)
+
+// CGRA is a parametric 2-D mesh coarse-grained reconfigurable array in the
+// style of the paper's Fig. 1: every PE holds an ALU, a register file, a
+// network switch and per-cycle configuration memory. A PE either computes or
+// routes in a given cycle (Fig. 5); its register file buffers values across
+// cycles, which is the routing resource the "less routing resources" variant
+// cuts from four registers to one.
+type CGRA struct {
+	Rows, Cols    int
+	RegsPerPE     int       // register-file capacity per PE
+	Mem           MemPolicy // which PEs may execute loads/stores
+	ConfigEntries int       // per-PE configuration memory entries == max II
+
+	label string
+}
+
+// NewCGRA builds a CGRA with explicit parameters.
+func NewCGRA(label string, rows, cols, regs int, mem MemPolicy, configEntries int) *CGRA {
+	if rows < 1 || cols < 1 || regs < 0 || configEntries < 1 {
+		panic("arch: invalid CGRA parameters")
+	}
+	return &CGRA{
+		Rows: rows, Cols: cols, RegsPerPE: regs,
+		Mem: mem, ConfigEntries: configEntries, label: label,
+	}
+}
+
+// The paper's five CGRA targets (§VI "Modelled Spatial Accelerators").
+
+// NewBaseline4x4 returns the 4×4 baseline CGRA (4 registers per PE).
+func NewBaseline4x4() *CGRA { return NewCGRA("cgra-4x4", 4, 4, 4, MemAll, 24) }
+
+// NewBaseline3x3 returns the 3×3 baseline CGRA.
+func NewBaseline3x3() *CGRA { return NewCGRA("cgra-3x3", 3, 3, 4, MemAll, 24) }
+
+// NewBaseline8x8 returns the 8×8 baseline CGRA.
+func NewBaseline8x8() *CGRA { return NewCGRA("cgra-8x8", 8, 8, 4, MemAll, 24) }
+
+// NewLessRouting4x4 returns the 4×4 CGRA with one register per PE.
+func NewLessRouting4x4() *CGRA { return NewCGRA("cgra-4x4-lessroute", 4, 4, 1, MemAll, 24) }
+
+// NewLessMem4x4 returns the 4×4 CGRA where only left-column PEs reach memory.
+func NewLessMem4x4() *CGRA { return NewCGRA("cgra-4x4-lessmem", 4, 4, 4, MemLeftColumn, 24) }
+
+// Name implements Arch.
+func (c *CGRA) Name() string { return c.label }
+
+// NumPEs implements Arch.
+func (c *CGRA) NumPEs() int { return c.Rows * c.Cols }
+
+// Coord implements Arch.
+func (c *CGRA) Coord(pe int) (row, col int) { return pe / c.Cols, pe % c.Cols }
+
+// PEAt returns the PE index at (row, col).
+func (c *CGRA) PEAt(row, col int) int { return row*c.Cols + col }
+
+// SpatialDistance implements Arch with Manhattan distance.
+func (c *CGRA) SpatialDistance(a, b int) int {
+	r1, c1 := c.Coord(a)
+	r2, c2 := c.Coord(b)
+	return manhattan(r1, c1, r2, c2)
+}
+
+// SupportsOp implements Arch: all PEs are general ALUs; memory ops obey the
+// memory policy.
+func (c *CGRA) SupportsOp(pe int, op dfg.OpKind) bool {
+	if op.IsMemory() && c.Mem == MemLeftColumn {
+		_, col := c.Coord(pe)
+		return col == 0
+	}
+	return true
+}
+
+// MaxII implements Arch.
+func (c *CGRA) MaxII() int { return c.ConfigEntries }
+
+// MemPEs returns how many PEs can execute memory operations.
+func (c *CGRA) MemPEs() int {
+	if c.Mem == MemLeftColumn {
+		return c.Rows
+	}
+	return c.NumPEs()
+}
+
+// MinII implements Arch: max of the compute-resource bound and the
+// memory-port bound (RecMII is 1 since the kernels are DAG bodies).
+func (c *CGRA) MinII(g *dfg.Graph) int {
+	ii := ceilDiv(g.NumNodes(), c.NumPEs())
+	if m := ceilDiv(g.MemOpCount(), c.MemPEs()); m > ii {
+		ii = m
+	}
+	if ii < 1 {
+		ii = 1
+	}
+	return ii
+}
+
+// neighbors returns the 4-neighborhood of a PE (mesh, no torus links).
+func (c *CGRA) neighbors(pe int) []int {
+	r, cc := c.Coord(pe)
+	var out []int
+	if r > 0 {
+		out = append(out, c.PEAt(r-1, cc))
+	}
+	if r < c.Rows-1 {
+		out = append(out, c.PEAt(r+1, cc))
+	}
+	if cc > 0 {
+		out = append(out, c.PEAt(r, cc-1))
+	}
+	if cc < c.Cols-1 {
+		out = append(out, c.PEAt(r, cc+1))
+	}
+	return out
+}
+
+// BuildRGraph implements Arch. Per (PE, cycle) it creates one FU node
+// (compute-or-route, capacity 1) and, if the PE has registers, one register
+// bank node (capacity RegsPerPE). Every edge advances one cycle mod II:
+//
+//	fu(p,t)  -> fu(p,t+1), fu(n,t+1)   route through own or neighbor ALU
+//	fu(p,t)  -> reg(p,t+1)             write the register file
+//	reg(p,t) -> reg(p,t+1)             hold in the register file
+//	reg(p,t) -> fu(p,t+1), fu(n,t+1)   read out through the switch
+func (c *CGRA) BuildRGraph(ii int) *rgraph.Graph {
+	if ii < 1 || ii > c.MaxII() {
+		panic(fmt.Sprintf("arch %s: II %d out of range [1,%d]", c.label, ii, c.MaxII()))
+	}
+	g := rgraph.NewGraph(ii)
+	n := c.NumPEs()
+	fuID := make([][]int, n)
+	regID := make([][]int, n)
+
+	general := allOpsMask()
+	noMem := general &^ maskOf(dfg.OpLoad, dfg.OpStore)
+
+	for pe := 0; pe < n; pe++ {
+		fuID[pe] = make([]int, ii)
+		regID[pe] = make([]int, ii)
+		mask := general
+		if !c.SupportsOp(pe, dfg.OpLoad) {
+			mask = noMem
+		}
+		for t := 0; t < ii; t++ {
+			fuID[pe][t] = g.AddNode(rgraph.Node{
+				Kind: rgraph.KindFU, PE: pe, Cycle: t, Cap: 1,
+				ComputeOK: true, RouteOK: true, OpsMask: mask,
+			})
+			if c.RegsPerPE > 0 {
+				regID[pe][t] = g.AddNode(rgraph.Node{
+					Kind: rgraph.KindReg, PE: pe, Cycle: t, Cap: c.RegsPerPE,
+					RouteOK: true,
+				})
+			} else {
+				regID[pe][t] = -1
+			}
+		}
+	}
+
+	for pe := 0; pe < n; pe++ {
+		nbs := c.neighbors(pe)
+		for t := 0; t < ii; t++ {
+			nt := (t + 1) % ii
+			g.AddEdge(fuID[pe][t], fuID[pe][nt])
+			for _, nb := range nbs {
+				g.AddEdge(fuID[pe][t], fuID[nb][nt])
+			}
+			if regID[pe][t] >= 0 {
+				g.AddEdge(fuID[pe][t], regID[pe][nt])
+				g.AddEdge(regID[pe][t], regID[pe][nt])
+				g.AddEdge(regID[pe][t], fuID[pe][nt])
+				for _, nb := range nbs {
+					g.AddEdge(regID[pe][t], fuID[nb][nt])
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,29 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseSpec(f *testing.F) {
+	f.Add(sampleSpec)
+	f.Add(`{"name":"x","rows":2,"cols":2}`)
+	f.Add(`{"name":"x","rows":1,"cols":1,"links":{"torus":true}}`)
+	f.Add(`{"name":"x","rows":2,"cols":2,"memory":{"policy":"custom","pes":[[0,0]]}}`)
+	f.Add(`{"rows":-1}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := LoadArch(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Anything accepted must pass the generic validation and build a
+		// non-empty resource graph at II=1.
+		if err := Validate(c); err != nil {
+			t.Fatalf("accepted invalid arch: %v", err)
+		}
+		// MinII on a trivial graph must be sane.
+		if c.MaxII() < 1 || c.NumPEs() < 1 {
+			t.Fatal("degenerate accepted arch")
+		}
+	})
+}

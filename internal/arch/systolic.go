@@ -1,0 +1,132 @@
+package arch
+
+import (
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/rgraph"
+)
+
+// Systolic models the paper's 5×5 systolic accelerator (Fig. 3) with compute
+// units similar to the Revel basic unit: left-most PEs load input data,
+// right-most PEs store output, and the interior PEs each execute a fixed
+// multiply or add operation for the whole run — there is no per-cycle
+// reconfiguration, so MaxII is 1 and every resource exists in a single time
+// layer. Mapping a DFG therefore succeeds or fails (the ✓/✗ of Fig. 9g);
+// failure happens when the op mix does not fit the fixed-function PEs (trmm's
+// triangular guard needs cmp/select, which no systolic PE provides) or the
+// fabric cannot delay-align the dataflow waves.
+//
+// Revel is a hybrid systolic-dataflow architecture, so the interconnect is a
+// mesh like the CGRA's; the systolic character comes from the fixed-function
+// constraint and from the per-PE delay channels (capacity Channels) that
+// stand in for the skew registers a systolic wave rides on. Constants
+// (loop-invariant scalars) can be pinned at any PE.
+type Systolic struct {
+	Rows, Cols int
+	// Channels is the delay/pass-through register capacity per PE.
+	Channels int
+	label    string
+}
+
+// NewSystolic5x5 returns the paper's 5×5 systolic accelerator.
+func NewSystolic5x5() *Systolic {
+	return &Systolic{Rows: 5, Cols: 5, Channels: 4, label: "systolic-5x5"}
+}
+
+// Name implements Arch.
+func (s *Systolic) Name() string { return s.label }
+
+// NumPEs implements Arch.
+func (s *Systolic) NumPEs() int { return s.Rows * s.Cols }
+
+// Coord implements Arch.
+func (s *Systolic) Coord(pe int) (row, col int) { return pe / s.Cols, pe % s.Cols }
+
+// PEAt returns the PE index at (row, col).
+func (s *Systolic) PEAt(row, col int) int { return row*s.Cols + col }
+
+// SpatialDistance implements Arch with Manhattan distance.
+func (s *Systolic) SpatialDistance(a, b int) int {
+	r1, c1 := s.Coord(a)
+	r2, c2 := s.Coord(b)
+	return manhattan(r1, c1, r2, c2)
+}
+
+// opsMaskFor returns the fixed function set of a PE: loads on the left edge,
+// stores on the right edge, multiply/add in the interior; constants anywhere.
+func (s *Systolic) opsMaskFor(pe int) uint32 {
+	_, col := s.Coord(pe)
+	switch {
+	case col == 0:
+		return maskOf(dfg.OpLoad, dfg.OpConst)
+	case col == s.Cols-1:
+		return maskOf(dfg.OpStore, dfg.OpConst)
+	default:
+		return maskOf(dfg.OpMul, dfg.OpAdd, dfg.OpConst)
+	}
+}
+
+// SupportsOp implements Arch.
+func (s *Systolic) SupportsOp(pe int, op dfg.OpKind) bool {
+	return s.opsMaskFor(pe)&(1<<uint(op)) != 0
+}
+
+// MaxII implements Arch: systolic PEs execute a fixed operation every cycle.
+func (s *Systolic) MaxII() int { return 1 }
+
+// MinII implements Arch.
+func (s *Systolic) MinII(g *dfg.Graph) int { return 1 }
+
+// neighbors returns the 4-neighborhood.
+func (s *Systolic) neighbors(pe int) []int {
+	r, c := s.Coord(pe)
+	var out []int
+	if r > 0 {
+		out = append(out, s.PEAt(r-1, c))
+	}
+	if r < s.Rows-1 {
+		out = append(out, s.PEAt(r+1, c))
+	}
+	if c > 0 {
+		out = append(out, s.PEAt(r, c-1))
+	}
+	if c < s.Cols-1 {
+		out = append(out, s.PEAt(r, c+1))
+	}
+	return out
+}
+
+// BuildRGraph implements Arch. One time layer: per PE an FU node (capacity 1,
+// compute-only — a busy fixed-function unit cannot also forward unrelated
+// operands) and a delay-channel node (capacity Channels, route-only, with a
+// self-edge so waves can be delay-aligned). Hops between neighbors take one
+// cycle.
+func (s *Systolic) BuildRGraph(ii int) *rgraph.Graph {
+	if ii != 1 {
+		panic("arch: systolic array supports II=1 only")
+	}
+	g := rgraph.NewGraph(1)
+	n := s.NumPEs()
+	fuID := make([]int, n)
+	chID := make([]int, n)
+	for pe := 0; pe < n; pe++ {
+		fuID[pe] = g.AddNode(rgraph.Node{
+			Kind: rgraph.KindFU, PE: pe, Cycle: 0, Cap: 1,
+			ComputeOK: true, RouteOK: false, OpsMask: s.opsMaskFor(pe),
+		})
+		chID[pe] = g.AddNode(rgraph.Node{
+			Kind: rgraph.KindReg, PE: pe, Cycle: 0, Cap: s.Channels,
+			RouteOK: true,
+		})
+	}
+	for pe := 0; pe < n; pe++ {
+		g.AddEdge(fuID[pe], chID[pe]) // park the value in a delay register
+		g.AddEdge(chID[pe], chID[pe]) // hold it there across cycles
+		for _, nb := range s.neighbors(pe) {
+			g.AddEdge(fuID[pe], fuID[nb])
+			g.AddEdge(fuID[pe], chID[nb])
+			g.AddEdge(chID[pe], fuID[nb])
+			g.AddEdge(chID[pe], chID[nb])
+		}
+	}
+	return g
+}

@@ -1,0 +1,34 @@
+package arch
+
+// PaperTargets returns the six accelerators of the paper's evaluation in the
+// order they are introduced in §VI.
+func PaperTargets() []Arch {
+	return []Arch{
+		NewBaseline4x4(),
+		NewBaseline8x8(),
+		NewBaseline3x3(),
+		NewLessRouting4x4(),
+		NewLessMem4x4(),
+		NewSystolic5x5(),
+	}
+}
+
+// ByName resolves an architecture by its Name string; the CLI tools use it.
+func ByName(name string) (Arch, bool) {
+	for _, a := range PaperTargets() {
+		if a.Name() == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the available architecture names.
+func Names() []string {
+	ts := PaperTargets()
+	out := make([]string, len(ts))
+	for i, a := range ts {
+		out[i] = a.Name()
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package arch
+
+import (
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/rgraph"
+)
+
+// This file extends the CGRA model with the architecture axes the paper's
+// related work motivates (HyCube-style richer interconnect, REVAMP-style
+// heterogeneous PEs). They are not part of the paper's six evaluation
+// targets, but they are exactly the kind of "new accelerator" a portable
+// compiler must absorb without manual retuning — examples/newaccel and the
+// portability tests exercise them.
+
+// Torus wraps a CGRA's mesh into a torus: each edge PE also links to the
+// opposite edge, halving worst-case spatial distance.
+type Torus struct {
+	CGRA
+}
+
+// NewTorus4x4 returns a 4×4 torus CGRA with the baseline register file.
+func NewTorus4x4() *Torus {
+	t := &Torus{CGRA: *NewCGRA("cgra-4x4-torus", 4, 4, 4, MemAll, 24)}
+	return t
+}
+
+// SpatialDistance implements Arch with wrap-around Manhattan distance.
+func (t *Torus) SpatialDistance(a, b int) int {
+	r1, c1 := t.Coord(a)
+	r2, c2 := t.Coord(b)
+	dr := absInt(r1 - r2)
+	if w := t.Rows - dr; w < dr {
+		dr = w
+	}
+	dc := absInt(c1 - c2)
+	if w := t.Cols - dc; w < dc {
+		dc = w
+	}
+	return dr + dc
+}
+
+// BuildRGraph builds the mesh resource graph and adds the wrap links.
+func (t *Torus) BuildRGraph(ii int) *rgraph.Graph {
+	g := t.CGRA.BuildRGraph(ii)
+	// Wrap links: first/last column and first/last row, FU->FU and reg->FU,
+	// advancing one cycle like every other link.
+	addWrap := func(a, b int) {
+		for cyc := 0; cyc < ii; cyc++ {
+			nt := (cyc + 1) % ii
+			g.AddEdge(g.FUAt(a, cyc), g.FUAt(b, nt))
+			g.AddEdge(g.FUAt(b, cyc), g.FUAt(a, nt))
+		}
+	}
+	for r := 0; r < t.Rows; r++ {
+		addWrap(t.PEAt(r, 0), t.PEAt(r, t.Cols-1))
+	}
+	for c := 0; c < t.Cols; c++ {
+		addWrap(t.PEAt(0, c), t.PEAt(t.Rows-1, c))
+	}
+	return g
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Hetero is a heterogeneous CGRA in the REVAMP mould: every PE has an adder
+// and logic unit, but only PEs on a checkerboard pattern carry the expensive
+// multiplier/divider/shifter. Memory policy and registers follow the
+// embedded CGRA configuration.
+type Hetero struct {
+	CGRA
+}
+
+// NewHetero4x4 returns a 4×4 CGRA where only checkerboard PEs multiply.
+func NewHetero4x4() *Hetero {
+	return &Hetero{CGRA: *NewCGRA("cgra-4x4-hetero", 4, 4, 4, MemAll, 24)}
+}
+
+// hasMultiplier reports whether the PE carries the complex-ALU cluster.
+func (h *Hetero) hasMultiplier(pe int) bool {
+	r, c := h.Coord(pe)
+	return (r+c)%2 == 0
+}
+
+// complexOps are the operations restricted to multiplier PEs.
+func complexOps() uint32 {
+	return maskOf(dfg.OpMul, dfg.OpDiv, dfg.OpShl, dfg.OpShr)
+}
+
+// SupportsOp implements Arch.
+func (h *Hetero) SupportsOp(pe int, op dfg.OpKind) bool {
+	if complexOps()&(1<<uint(op)) != 0 && !h.hasMultiplier(pe) {
+		return false
+	}
+	return h.CGRA.SupportsOp(pe, op)
+}
+
+// MinII implements Arch, adding the multiplier-port bound.
+func (h *Hetero) MinII(g *dfg.Graph) int {
+	ii := h.CGRA.MinII(g)
+	mulOps := 0
+	for _, n := range g.Nodes {
+		if complexOps()&(1<<uint(n.Op)) != 0 {
+			mulOps++
+		}
+	}
+	mulPEs := 0
+	for pe := 0; pe < h.NumPEs(); pe++ {
+		if h.hasMultiplier(pe) {
+			mulPEs++
+		}
+	}
+	if m := ceilDiv(mulOps, mulPEs); m > ii {
+		ii = m
+	}
+	return ii
+}
+
+// BuildRGraph builds the mesh graph, then strips the complex ops from the
+// FU masks of non-multiplier PEs.
+func (h *Hetero) BuildRGraph(ii int) *rgraph.Graph {
+	g := h.CGRA.BuildRGraph(ii)
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Kind == rgraph.KindFU && !h.hasMultiplier(n.PE) {
+			n.OpsMask &^= complexOps()
+		}
+	}
+	return g
+}
+
+// ExtendedTargets returns the paper's six targets plus the torus and
+// heterogeneous variants.
+func ExtendedTargets() []Arch {
+	return append(PaperTargets(), NewTorus4x4(), NewHetero4x4())
+}

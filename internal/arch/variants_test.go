@@ -1,0 +1,113 @@
+package arch
+
+import (
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/rgraph"
+)
+
+func TestTorusDistanceWraps(t *testing.T) {
+	tor := NewTorus4x4()
+	// Opposite corners: mesh distance 6, torus distance 2.
+	a := tor.PEAt(0, 0)
+	b := tor.PEAt(3, 3)
+	if d := tor.SpatialDistance(a, b); d != 2 {
+		t.Fatalf("torus corner distance = %d, want 2", d)
+	}
+	if d := tor.SpatialDistance(a, a); d != 0 {
+		t.Fatal("identity distance broken")
+	}
+	// Distance never exceeds half the perimeter.
+	for x := 0; x < tor.NumPEs(); x++ {
+		for y := 0; y < tor.NumPEs(); y++ {
+			if tor.SpatialDistance(x, y) > 4 {
+				t.Fatalf("torus distance (%d,%d) too large", x, y)
+			}
+		}
+	}
+}
+
+func TestTorusRGraphHasWrapLinks(t *testing.T) {
+	tor := NewTorus4x4()
+	g := tor.BuildRGraph(2)
+	// FU(0,0) must reach FU at (0, 3) in one hop via the wrap link.
+	src := g.FUAt(tor.PEAt(0, 0), 0)
+	dst := g.FUAt(tor.PEAt(0, 3), 1)
+	found := false
+	for _, nb := range g.Out(src) {
+		if int(nb) == dst {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("wrap link missing")
+	}
+	if err := Validate(tor); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeteroOpSupport(t *testing.T) {
+	h := NewHetero4x4()
+	mulPEs := 0
+	for pe := 0; pe < h.NumPEs(); pe++ {
+		if h.SupportsOp(pe, dfg.OpMul) {
+			mulPEs++
+			if !h.hasMultiplier(pe) {
+				t.Fatalf("PE %d supports mul without a multiplier", pe)
+			}
+		}
+		if !h.SupportsOp(pe, dfg.OpAdd) || !h.SupportsOp(pe, dfg.OpLoad) {
+			t.Fatalf("PE %d must keep add/mem support", pe)
+		}
+	}
+	if mulPEs != 8 {
+		t.Fatalf("multiplier PEs = %d, want 8 (checkerboard)", mulPEs)
+	}
+}
+
+func TestHeteroRGraphMasks(t *testing.T) {
+	h := NewHetero4x4()
+	g := h.BuildRGraph(1)
+	for _, n := range g.Nodes {
+		if n.Kind != rgraph.KindFU {
+			continue
+		}
+		allows := n.AllowsOp(uint8(dfg.OpMul))
+		if allows != h.hasMultiplier(n.PE) {
+			t.Fatalf("FU mask inconsistent with multiplier placement at PE %d", n.PE)
+		}
+	}
+}
+
+func TestHeteroMinIIAccountsForMultipliers(t *testing.T) {
+	// A DFG with 17 muls on 8 multiplier PEs needs II >= 3.
+	g := dfg.New("muls")
+	prev := g.AddNode("", dfg.OpLoad)
+	for i := 0; i < 17; i++ {
+		cur := g.AddNode("", dfg.OpMul)
+		g.AddEdge(prev, cur)
+		prev = cur
+	}
+	h := NewHetero4x4()
+	if got := h.MinII(g); got != 3 {
+		t.Fatalf("hetero MinII = %d, want 3", got)
+	}
+	base := NewBaseline4x4()
+	if got := base.MinII(g); got != 2 {
+		t.Fatalf("baseline MinII = %d, want 2", got)
+	}
+}
+
+func TestExtendedTargetsValid(t *testing.T) {
+	ts := ExtendedTargets()
+	if len(ts) != 8 {
+		t.Fatalf("extended targets = %d, want 8", len(ts))
+	}
+	for _, a := range ts {
+		if err := Validate(a); err != nil {
+			t.Errorf("%s: %v", a.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package attr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/kernels"
+)
+
+func TestDimensionsMatchConstants(t *testing.T) {
+	g := kernels.MustByName("gemm")
+	s := Generate(g)
+	if len(s.Node) != g.NumNodes() {
+		t.Fatalf("node rows = %d, want %d", len(s.Node), g.NumNodes())
+	}
+	for _, r := range s.Node {
+		if len(r) != NodeAttrDim {
+			t.Fatalf("node attr dim = %d, want %d", len(r), NodeAttrDim)
+		}
+	}
+	if len(s.Edge) != g.NumEdges() {
+		t.Fatalf("edge rows = %d", len(s.Edge))
+	}
+	for _, r := range s.Edge {
+		if len(r) != EdgeAttrDim {
+			t.Fatalf("edge attr dim = %d, want %d", len(r), EdgeAttrDim)
+		}
+	}
+	if len(s.Dummy) != len(s.DummyPairs) {
+		t.Fatal("dummy rows != pairs")
+	}
+	for _, r := range s.Dummy {
+		if len(r) != DummyAttrDim {
+			t.Fatalf("dummy attr dim = %d, want %d", len(r), DummyAttrDim)
+		}
+	}
+}
+
+func TestNodeAttributeSemantics(t *testing.T) {
+	g := kernels.MustByName("gemm")
+	s := Generate(g)
+	an := s.An
+	for v := range g.Nodes {
+		row := s.Node[v]
+		if row[0] != float64(an.ASAP[v]) {
+			t.Errorf("node %d attr[0] != ASAP", v)
+		}
+		if row[1] != float64(g.InDegree(v)) || row[2] != float64(g.OutDegree(v)) {
+			t.Errorf("node %d degree attrs wrong", v)
+		}
+		if row[3] != float64(an.NumAncestors(v)) || row[4] != float64(an.NumDescendants(v)) {
+			t.Errorf("node %d ancestor/descendant attrs wrong", v)
+		}
+		if row[5] != float64(g.Nodes[v].Op) {
+			t.Errorf("node %d op attr wrong", v)
+		}
+	}
+}
+
+func TestEdgeAttributeSemantics(t *testing.T) {
+	g := kernels.MustByName("atax")
+	s := Generate(g)
+	an := s.An
+	for i, e := range g.Edges {
+		row := s.Edge[i]
+		if row[0] != float64(an.ASAP[e.To]-an.ASAP[e.From]) {
+			t.Errorf("edge %d ASAP diff wrong", i)
+		}
+		if row[0] < 1 {
+			t.Errorf("edge %d ASAP diff %v < 1 (child after parent)", i, row[0])
+		}
+		if row[3] != float64(an.NumAncestors(e.From)) {
+			t.Errorf("edge %d parent-ancestor attr wrong", i)
+		}
+		if row[4] != float64(an.NumDescendants(e.To)) {
+			t.Errorf("edge %d child-descendant attr wrong", i)
+		}
+	}
+}
+
+func TestDummyAttributesNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.Random(rng, dfg.DefaultRandomConfig(), "r")
+		s := Generate(g)
+		for _, row := range s.Dummy {
+			for _, v := range row {
+				if v < 0 {
+					return false
+				}
+			}
+		}
+		// Pairs must be canonical and same-level.
+		for _, p := range s.DummyPairs {
+			if p.A >= p.B {
+				return false
+			}
+			if s.An.ASAP[p.A] != s.An.ASAP[p.B] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

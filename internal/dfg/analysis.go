@@ -1,0 +1,309 @@
+package dfg
+
+import "math/bits"
+
+// Analysis caches the structural properties of a DFG that the Attributes
+// Generator (paper §IV-A), the label machinery and the mappers all consume:
+// ASAP/ALAP levels, ancestor/descendant sets, and the critical-path length.
+// Build one with Analyze; it is immutable afterwards.
+type Analysis struct {
+	G *Graph
+
+	// ASAP holds each node's as-soon-as-possible level: source nodes are 0,
+	// every other node is 1 + max over predecessors. The paper uses ASAP as
+	// the base scheduling order and as a node attribute.
+	ASAP []int
+
+	// ALAP holds each node's as-late-as-possible level measured on the same
+	// scale as ASAP (sinks sit at CriticalPath).
+	ALAP []int
+
+	// CriticalPath is the number of nodes on the longest dependency chain
+	// minus one, i.e. max(ASAP). The paper normalizes the schedule-order
+	// label to "the length of the longest path".
+	CriticalPath int
+
+	// Topo is a deterministic topological order.
+	Topo []int
+
+	ancestors   []bitset // transitive predecessors, one bitset per node
+	descendants []bitset // transitive successors
+}
+
+// bitset is a fixed-width bit vector over node IDs.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// intersects reports whether b and o share any set bit.
+func (b bitset) intersects(o bitset) bool {
+	for i := range b {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze computes the cached structural analysis of g. It panics if g is
+// cyclic (Validate catches that earlier in every pipeline).
+func Analyze(g *Graph) *Analysis {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	n := g.NumNodes()
+	a := &Analysis{
+		G:           g,
+		ASAP:        make([]int, n),
+		ALAP:        make([]int, n),
+		Topo:        topo,
+		ancestors:   make([]bitset, n),
+		descendants: make([]bitset, n),
+	}
+
+	for _, v := range topo {
+		lvl := 0
+		for _, p := range g.Pred(v) {
+			if a.ASAP[p]+1 > lvl {
+				lvl = a.ASAP[p] + 1
+			}
+		}
+		a.ASAP[v] = lvl
+		if lvl > a.CriticalPath {
+			a.CriticalPath = lvl
+		}
+	}
+
+	for i := range a.ALAP {
+		a.ALAP[i] = a.CriticalPath
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, s := range g.Succ(v) {
+			if a.ALAP[s]-1 < a.ALAP[v] {
+				a.ALAP[v] = a.ALAP[s] - 1
+			}
+		}
+	}
+
+	for _, v := range topo {
+		b := newBitset(n)
+		for _, p := range g.Pred(v) {
+			b.set(p)
+			b.or(a.ancestors[p])
+		}
+		a.ancestors[v] = b
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		b := newBitset(n)
+		for _, s := range g.Succ(v) {
+			b.set(s)
+			b.or(a.descendants[s])
+		}
+		a.descendants[v] = b
+	}
+	return a
+}
+
+// NumAncestors returns the number of transitive predecessors of v
+// (node attribute 4 in §IV-A).
+func (a *Analysis) NumAncestors(v int) int { return a.ancestors[v].count() }
+
+// NumDescendants returns the number of transitive successors of v
+// (node attribute 5 in §IV-A).
+func (a *Analysis) NumDescendants(v int) int { return a.descendants[v].count() }
+
+// IsAncestor reports whether u is a transitive predecessor of v.
+func (a *Analysis) IsAncestor(u, v int) bool { return a.ancestors[v].has(u) }
+
+// IsDescendant reports whether u is a transitive successor of v.
+func (a *Analysis) IsDescendant(u, v int) bool { return a.descendants[v].has(u) }
+
+// HaveCommonAncestor reports whether u and v share a transitive predecessor.
+func (a *Analysis) HaveCommonAncestor(u, v int) bool {
+	return a.ancestors[u].intersects(a.ancestors[v])
+}
+
+// HaveCommonDescendant reports whether u and v share a transitive successor.
+func (a *Analysis) HaveCommonDescendant(u, v int) bool {
+	return a.descendants[u].intersects(a.descendants[v])
+}
+
+// NodesBetween counts the nodes whose ASAP value lies strictly between the
+// ASAP values of u and v (edge attribute 2 in §IV-A).
+func (a *Analysis) NodesBetween(u, v int) int {
+	lo, hi := a.ASAP[u], a.ASAP[v]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	n := 0
+	for w := range a.ASAP {
+		if a.ASAP[w] > lo && a.ASAP[w] < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// NodesAtLevel counts the nodes whose ASAP value equals lvl.
+func (a *Analysis) NodesAtLevel(lvl int) int {
+	n := 0
+	for _, l := range a.ASAP {
+		if l == lvl {
+			n++
+		}
+	}
+	return n
+}
+
+// NodesWithASAPBetween counts nodes with lo < ASAP < hi.
+func (a *Analysis) NodesWithASAPBetween(lo, hi int) int {
+	n := 0
+	for _, l := range a.ASAP {
+		if l > lo && l < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// ClosestCommonAncestor returns the common ancestor of u and v with the
+// largest ASAP value (closest to the pair) and the larger of the two hop
+// distances from u and v to it. ok is false when none exists.
+func (a *Analysis) ClosestCommonAncestor(u, v int) (anc, dist int, ok bool) {
+	best := -1
+	for w := range a.ASAP {
+		if a.ancestors[u].has(w) && a.ancestors[v].has(w) {
+			if best == -1 || a.ASAP[w] > a.ASAP[best] {
+				best = w
+			}
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	du := a.hopDistanceUp(u, best)
+	dv := a.hopDistanceUp(v, best)
+	if dv > du {
+		du = dv
+	}
+	return best, du, true
+}
+
+// ClosestCommonDescendant returns the common descendant of u and v with the
+// smallest ASAP value and the larger hop distance from u and v to it.
+func (a *Analysis) ClosestCommonDescendant(u, v int) (desc, dist int, ok bool) {
+	best := -1
+	for w := range a.ASAP {
+		if a.descendants[u].has(w) && a.descendants[v].has(w) {
+			if best == -1 || a.ASAP[w] < a.ASAP[best] {
+				best = w
+			}
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	du := a.hopDistanceDown(u, best)
+	dv := a.hopDistanceDown(v, best)
+	if dv > du {
+		du = dv
+	}
+	return best, du, true
+}
+
+// hopDistanceUp returns the shortest edge count from anc down to v (BFS over
+// successor edges starting at anc, restricted to ancestors of v plus v).
+func (a *Analysis) hopDistanceUp(v, anc int) int {
+	return a.shortestHops(anc, v)
+}
+
+// hopDistanceDown returns the shortest edge count from v down to desc.
+func (a *Analysis) hopDistanceDown(v, desc int) int {
+	return a.shortestHops(v, desc)
+}
+
+// shortestHops returns the shortest directed path length (in edges) from s to
+// t, or 0 if t is unreachable (callers only ask for reachable pairs).
+func (a *Analysis) shortestHops(s, t int) int {
+	if s == t {
+		return 0
+	}
+	n := a.G.NumNodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range a.G.Succ(v) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				if w == t {
+					return dist[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return 0
+}
+
+// PathNodeCount returns the number of intermediate nodes on the shortest
+// directed path from s to t (path length - 1), or 0 when s and t are
+// adjacent or unreachable. Dummy-edge attributes 6 and 7 use it.
+func (a *Analysis) PathNodeCount(s, t int) int {
+	h := a.shortestHops(s, t)
+	if h <= 1 {
+		return 0
+	}
+	return h - 1
+}
+
+// SameLevelPair describes two nodes with equal ASAP value, no direct
+// dependency, and a common ancestor or descendant — the endpoints of a dummy
+// edge (paper §III-A, label 2).
+type SameLevelPair struct {
+	A, B int
+}
+
+// SameLevelPairs enumerates all dummy edges of the DFG in deterministic
+// (A,B) order with A < B.
+func (a *Analysis) SameLevelPairs() []SameLevelPair {
+	var pairs []SameLevelPair
+	n := a.G.NumNodes()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if a.ASAP[u] != a.ASAP[v] {
+				continue
+			}
+			// Same ASAP value implies no direct dependency.
+			if a.HaveCommonAncestor(u, v) || a.HaveCommonDescendant(u, v) {
+				pairs = append(pairs, SameLevelPair{A: u, B: v})
+			}
+		}
+	}
+	return pairs
+}

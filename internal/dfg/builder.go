@@ -1,0 +1,84 @@
+package dfg
+
+// Builder is a small fluent helper for hand-lowering loop-kernel bodies into
+// DFGs. The kernels package uses it to express PolyBench loop bodies the way
+// a compiler front end would lower them: loads feed address arithmetic and
+// compute ops, stores consume results.
+type Builder struct {
+	g *Graph
+}
+
+// NewBuilder starts a new DFG with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: New(name)}
+}
+
+// Value is a handle to the node producing a value inside a Builder program.
+type Value struct{ id int }
+
+// ID exposes the underlying node ID (useful in tests).
+func (v Value) ID() int { return v.id }
+
+// Const introduces a constant/loop-invariant value (e.g. a base address or a
+// scalar kept in a register).
+func (b *Builder) Const(name string) Value {
+	return Value{b.g.AddNode(name, OpConst)}
+}
+
+// Load reads memory at the given address value.
+func (b *Builder) Load(name string, addr Value) Value {
+	id := b.g.AddNode(name, OpLoad)
+	b.g.AddEdge(addr.id, id)
+	return Value{id}
+}
+
+// Store writes val to memory at addr. Stores are DFG sinks.
+func (b *Builder) Store(name string, addr, val Value) Value {
+	id := b.g.AddNode(name, OpStore)
+	b.g.AddEdge(addr.id, id)
+	b.g.AddEdge(val.id, id)
+	return Value{id}
+}
+
+// binary adds a two-input ALU node.
+func (b *Builder) binary(name string, op OpKind, x, y Value) Value {
+	id := b.g.AddNode(name, op)
+	b.g.AddEdge(x.id, id)
+	b.g.AddEdge(y.id, id)
+	return Value{id}
+}
+
+// Add returns x+y.
+func (b *Builder) Add(name string, x, y Value) Value { return b.binary(name, OpAdd, x, y) }
+
+// Sub returns x-y.
+func (b *Builder) Sub(name string, x, y Value) Value { return b.binary(name, OpSub, x, y) }
+
+// Mul returns x*y.
+func (b *Builder) Mul(name string, x, y Value) Value { return b.binary(name, OpMul, x, y) }
+
+// Div returns x/y.
+func (b *Builder) Div(name string, x, y Value) Value { return b.binary(name, OpDiv, x, y) }
+
+// Shl returns x<<y; kernels use it for strength-reduced row addressing.
+func (b *Builder) Shl(name string, x, y Value) Value { return b.binary(name, OpShl, x, y) }
+
+// Cmp compares x and y.
+func (b *Builder) Cmp(name string, x, y Value) Value { return b.binary(name, OpCmp, x, y) }
+
+// Select returns a 3-input select(cond, x, y).
+func (b *Builder) Select(name string, cond, x, y Value) Value {
+	id := b.g.AddNode(name, OpSelect)
+	b.g.AddEdge(cond.id, id)
+	b.g.AddEdge(x.id, id)
+	b.g.AddEdge(y.id, id)
+	return Value{id}
+}
+
+// Addr computes base + offset, the canonical address-arithmetic node.
+func (b *Builder) Addr(name string, base, offset Value) Value {
+	return b.binary(name, OpAdd, base, offset)
+}
+
+// Graph finishes the build and returns the DFG.
+func (b *Builder) Graph() *Graph { return b.g }

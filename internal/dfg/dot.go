@@ -1,0 +1,36 @@
+package dfg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT emits g in Graphviz DOT format. Node labels show name, op and ID;
+// memory ops are shaded so the memory-connectivity constraints are visible at
+// a glance.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, n := range g.Nodes {
+		attrs := ""
+		if n.Op.IsMemory() {
+			attrs = ", style=filled, fillcolor=lightgrey"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%s\"%s];\n", n.ID, n.Name, n.Op, attrs)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary returns a one-line description used by the CLI tools.
+func (g *Graph) Summary() string {
+	a := Analyze(g)
+	return fmt.Sprintf("%s: %d nodes, %d edges, %d mem ops, critical path %d",
+		g.Name, g.NumNodes(), g.NumEdges(), g.MemOpCount(), a.CriticalPath)
+}

@@ -1,0 +1,52 @@
+package dfg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the parsers must never panic and anything they accept must
+// be a valid graph. `go test` runs the seed corpus; `go test -fuzz=FuzzX`
+// explores further.
+
+func FuzzParseDOT(f *testing.F) {
+	f.Add("digraph d { a -> b; }")
+	f.Add(`digraph "g" { n0 [label="x\nmul"]; n1 [opcode=load]; n1 -> n0; }`)
+	f.Add("digraph{a->b;b->c;a->c}")
+	f.Add("not a graph at all")
+	f.Add("digraph d { a [opcode=\"; -> ]\"]; a -> b; }")
+	g := New("seed")
+	x := g.AddNode("x", OpMul)
+	y := g.AddNode("y", OpStore)
+	g.AddEdge(x, y)
+	var buf bytes.Buffer
+	_ = g.WriteDOT(&buf)
+	f.Add(buf.String())
+
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseDOT(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+	})
+}
+
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"name":"x","nodes":[{"name":"a","op":"load"},{"name":"b","op":"store"}],"edges":[[0,1]]}`)
+	f.Add(`{"name":"x","nodes":[],"edges":[]}`)
+	f.Add(`{`)
+	f.Add(`{"name":"x","nodes":[{"name":"a","op":"add"}],"edges":[[0,0]]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ReadJSON(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package dfg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the interchange schema for DFGs.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Edges [][2]int   `json:"edges"`
+}
+
+type jsonNode struct {
+	Name string `json:"name"`
+	Op   string `json:"op"`
+}
+
+// WriteJSON serializes g as JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{Name: g.Name}
+	for _, n := range g.Nodes {
+		jg.Nodes = append(jg.Nodes, jsonNode{Name: n.Name, Op: n.Op.String()})
+	}
+	for _, e := range g.Edges {
+		jg.Edges = append(jg.Edges, [2]int{e.From, e.To})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&jg)
+}
+
+// ReadJSON deserializes a DFG written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("dfg: decode JSON: %w", err)
+	}
+	g := New(jg.Name)
+	for i, n := range jg.Nodes {
+		op, err := ParseOpKind(n.Op)
+		if err != nil {
+			return nil, fmt.Errorf("dfg: node %d: %w", i, err)
+		}
+		g.AddNode(n.Name, op)
+	}
+	for i, e := range jg.Edges {
+		if e[0] < 0 || e[0] >= len(g.Nodes) || e[1] < 0 || e[1] >= len(g.Nodes) {
+			return nil, fmt.Errorf("dfg: edge %d out of range", i)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,220 @@
+package dfg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseDOT reads a DFG in Graphviz DOT syntax. It accepts the subset this
+// package's WriteDOT emits as well as CGRA-ME-style DFG files: one node or
+// edge statement per line inside a digraph block,
+//
+//	digraph gemm {
+//	    n0 [opcode=load];
+//	    a  [label="lA\nload"];
+//	    n0 -> a;
+//	}
+//
+// The operation kind comes from an `opcode` or `op` attribute, or from the
+// second line of a `label` attribute; nodes without either default to add.
+// Multi-statement lines separated by ';' are supported; subgraphs are not.
+func ParseDOT(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	g := New("dfg")
+	ids := map[string]int{}
+	lineNo := 0
+	opened := false
+
+	type pendingEdge struct {
+		from, to string
+		line     int
+	}
+	var edges []pendingEdge
+
+	ensure := func(name string, op OpKind, explicit bool) {
+		if id, ok := ids[name]; ok {
+			if explicit {
+				g.Nodes[id].Op = op
+			}
+			return
+		}
+		ids[name] = g.AddNode(name, op)
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, stmt := range splitStatements(line) {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(stmt, "digraph"):
+				opened = true
+				rest := strings.TrimSpace(strings.TrimPrefix(stmt, "digraph"))
+				rest = strings.TrimSuffix(rest, "{")
+				if name := strings.Trim(strings.TrimSpace(rest), `"`); name != "" {
+					g.Name = name
+				}
+			case stmt == "{":
+				opened = true
+			case stmt == "}":
+				// end of graph
+			case strings.HasPrefix(stmt, "rankdir") || strings.HasPrefix(stmt, "node ") ||
+				strings.HasPrefix(stmt, "node[") || strings.HasPrefix(stmt, "edge ") ||
+				strings.HasPrefix(stmt, "graph "):
+				// layout directives
+			case strings.Contains(stmt, "->"):
+				parts := strings.SplitN(stmt, "->", 2)
+				from := strings.Trim(strings.TrimSpace(parts[0]), `"`)
+				toPart := strings.TrimSpace(parts[1])
+				if i := strings.IndexAny(toPart, " \t["); i >= 0 {
+					toPart = toPart[:i]
+				}
+				to := strings.Trim(toPart, `";`)
+				if from == "" || to == "" {
+					return nil, fmt.Errorf("dfg: line %d: malformed edge %q", lineNo, stmt)
+				}
+				edges = append(edges, pendingEdge{from: from, to: to, line: lineNo})
+			default:
+				name, attrs := splitNodeStmt(stmt)
+				if name == "" {
+					return nil, fmt.Errorf("dfg: line %d: cannot parse %q", lineNo, stmt)
+				}
+				op, explicit, err := opFromAttrs(attrs)
+				if err != nil {
+					return nil, fmt.Errorf("dfg: line %d: %v", lineNo, err)
+				}
+				ensure(name, op, explicit)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !opened {
+		return nil, fmt.Errorf("dfg: no digraph block found")
+	}
+	for _, e := range edges {
+		ensure(e.from, OpAdd, false)
+		ensure(e.to, OpAdd, false)
+		g.AddEdge(ids[e.from], ids[e.to])
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// splitStatements splits on ';' outside quotes and attribute brackets.
+// Braces also terminate statements so that single-line graphs like
+// "digraph d { a -> b; }" parse correctly.
+func splitStatements(line string) []string {
+	var out []string
+	depth := 0
+	inQuote := false
+	start := 0
+	emit := func(end int) {
+		out = append(out, line[start:end])
+	}
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inQuote = !inQuote
+		case '[':
+			if !inQuote {
+				depth++
+			}
+		case ']':
+			if !inQuote {
+				depth--
+			}
+		case ';':
+			if !inQuote && depth == 0 {
+				emit(i)
+				start = i + 1
+			}
+		case '{':
+			if !inQuote && depth == 0 {
+				emit(i + 1) // keep the brace with the header statement
+				start = i + 1
+			}
+		case '}':
+			if !inQuote && depth == 0 {
+				emit(i)
+				start = i // the brace becomes its own statement
+			}
+		}
+	}
+	emit(len(line))
+	return out
+}
+
+// splitNodeStmt separates "name [attrs]" into its parts.
+func splitNodeStmt(stmt string) (name, attrs string) {
+	if i := strings.Index(stmt, "["); i >= 0 {
+		j := strings.LastIndex(stmt, "]")
+		if j < i {
+			return "", ""
+		}
+		return strings.Trim(strings.TrimSpace(stmt[:i]), `"`), stmt[i+1 : j]
+	}
+	return strings.Trim(strings.TrimSpace(stmt), `"`), ""
+}
+
+// opFromAttrs extracts the operation kind from a DOT attribute list.
+func opFromAttrs(attrs string) (op OpKind, explicit bool, err error) {
+	op = OpAdd
+	for _, kv := range splitAttrs(attrs) {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		key := strings.TrimSpace(parts[0])
+		val := strings.Trim(strings.TrimSpace(parts[1]), `"`)
+		switch key {
+		case "op", "opcode":
+			k, perr := ParseOpKind(strings.ToLower(val))
+			if perr != nil {
+				return op, false, perr
+			}
+			return k, true, nil
+		case "label":
+			// WriteDOT emits "name\nop"; take the last line.
+			fields := strings.Split(val, `\n`)
+			if len(fields) >= 2 {
+				if k, perr := ParseOpKind(strings.ToLower(fields[len(fields)-1])); perr == nil {
+					op, explicit = k, true
+				}
+			}
+		}
+	}
+	return op, explicit, nil
+}
+
+// splitAttrs splits "a=b, c=d" on commas outside quotes.
+func splitAttrs(attrs string) []string {
+	var out []string
+	inQuote := false
+	start := 0
+	for i := 0; i < len(attrs); i++ {
+		switch attrs[i] {
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, attrs[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, attrs[start:])
+	return out
+}

@@ -1,0 +1,133 @@
+package dfg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDOTRoundTrip(t *testing.T) {
+	g := paperExample()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseDOT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumNodes() != g.NumNodes() || parsed.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d edges",
+			parsed.NumNodes(), g.NumNodes(), parsed.NumEdges(), g.NumEdges())
+	}
+	// Node names and ops survive (DOT IDs are n<ID>, labels carry names/ops).
+	for i := range g.Nodes {
+		if parsed.Nodes[i].Op != g.Nodes[i].Op {
+			t.Errorf("node %d op %s != %s", i, parsed.Nodes[i].Op, g.Nodes[i].Op)
+		}
+	}
+}
+
+func TestParseDOTCGRAMEStyle(t *testing.T) {
+	src := `digraph gemm {
+		a [opcode=load];
+		b [opcode=load];
+		m [opcode=mul];
+		s [opcode=store];
+		addr [opcode=add];
+		a -> m;
+		b -> m;
+		addr -> s;
+		m -> s;
+		a -> addr;
+	}`
+	g, err := ParseDOT(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "gemm" {
+		t.Errorf("name = %q", g.Name)
+	}
+	if g.NumNodes() != 5 || g.NumEdges() != 5 {
+		t.Fatalf("%d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	m, _ := g.NodeByName("m")
+	if g.Nodes[m].Op != OpMul {
+		t.Error("opcode attribute ignored")
+	}
+}
+
+func TestParseDOTImplicitNodes(t *testing.T) {
+	src := "digraph d { x -> y; y -> z; }"
+	g, err := ParseDOT(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("%d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	// Implicit nodes default to add.
+	x, _ := g.NodeByName("x")
+	if g.Nodes[x].Op != OpAdd {
+		t.Error("implicit node op should default to add")
+	}
+}
+
+func TestParseDOTRejectsGarbage(t *testing.T) {
+	for _, src := range []string{
+		"", // no digraph
+		"digraph d { a [opcode=frobnicate]; a -> b; }", // bad op
+		"digraph d { a -> b; b -> a; }",                // cycle (Validate)
+	} {
+		if _, err := ParseDOT(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseDOT(%q) should fail", src)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(rng, DefaultRandomConfig(), "r")
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			return false
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := range g.Nodes {
+			if back.Nodes[i].Op != g.Nodes[i].Op || back.Nodes[i].Name != g.Nodes[i].Name {
+				return false
+			}
+		}
+		for i := range g.Edges {
+			if back.Edges[i].From != g.Edges[i].From || back.Edges[i].To != g.Edges[i].To {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONRejectsBadInput(t *testing.T) {
+	for _, src := range []string{
+		"{",
+		`{"name":"x","nodes":[{"name":"a","op":"zap"}],"edges":[]}`,
+		`{"name":"x","nodes":[{"name":"a","op":"add"}],"edges":[[0,5]]}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadJSON(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package dfg
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomConfig controls the random DFG generator used to build GNN training
+// sets (paper §V-A: "generate random directed and weakly connected graphs"
+// with node counts and per-node edge counts drawn from ranges based on the
+// real applications).
+type RandomConfig struct {
+	MinNodes  int // inclusive lower bound on node count
+	MaxNodes  int // inclusive upper bound on node count
+	MinFanout int // lower bound on edges added per non-sink node
+	MaxFanout int // upper bound on edges added per non-sink node
+
+	// MemFraction is the approximate fraction of nodes that are memory ops;
+	// real PolyBench DFGs are roughly one third loads/stores.
+	MemFraction float64
+
+	// Ops is the pool of compute op kinds to draw from. Empty means a
+	// default ALU mix.
+	Ops []OpKind
+}
+
+// DefaultRandomConfig mirrors the size range of the PolyBench DFGs the paper
+// maps (tens of nodes).
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		MinNodes:    10,
+		MaxNodes:    28,
+		MinFanout:   1,
+		MaxFanout:   3,
+		MemFraction: 0.3,
+		Ops:         []OpKind{OpAdd, OpSub, OpMul, OpAdd, OpMul, OpShl, OpCmp},
+	}
+}
+
+// Random generates one random, directed, weakly-connected, acyclic DFG.
+// Determinism is entirely controlled by rng. The construction works level by
+// level: nodes are created in ID order and each node draws its fanout edges
+// toward strictly later IDs, which guarantees acyclicity; a final pass stitches
+// disconnected components together.
+func Random(rng *rand.Rand, cfg RandomConfig, name string) *Graph {
+	if cfg.MaxNodes < cfg.MinNodes || cfg.MinNodes < 2 {
+		panic("dfg: invalid RandomConfig node bounds")
+	}
+	ops := cfg.Ops
+	if len(ops) == 0 {
+		ops = DefaultRandomConfig().Ops
+	}
+	n := cfg.MinNodes + rng.Intn(cfg.MaxNodes-cfg.MinNodes+1)
+	g := New(name)
+
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		if rng.Float64() < cfg.MemFraction {
+			// Memory ops: early IDs lean toward loads, late IDs toward
+			// stores, matching how lowered kernels look.
+			if float64(i) < float64(n)*0.5 {
+				op = OpLoad
+			} else {
+				op = OpStore
+			}
+		}
+		g.AddNode(fmt.Sprintf("r%d", i), op)
+	}
+
+	for v := 0; v < n-1; v++ {
+		fan := cfg.MinFanout
+		if cfg.MaxFanout > cfg.MinFanout {
+			fan += rng.Intn(cfg.MaxFanout - cfg.MinFanout + 1)
+		}
+		for k := 0; k < fan; k++ {
+			w := v + 1 + rng.Intn(n-v-1)
+			if !hasEdge(g, v, w) {
+				g.AddEdge(v, w)
+			}
+		}
+	}
+
+	// Stores must be sinks and must have at least one input; consts/loads
+	// at position 0 are sources. Fix up violations deterministically.
+	for v := 0; v < n; v++ {
+		if g.Nodes[v].Op == OpStore {
+			// Redirect outgoing edges of stores is impossible post hoc
+			// (edges are append-only), so instead demote stores that
+			// gained successors to adds.
+			if g.OutDegree(v) > 0 {
+				g.Nodes[v].Op = OpAdd
+			}
+		}
+		if v > 0 && g.InDegree(v) == 0 {
+			g.AddEdge(rng.Intn(v), v)
+		}
+	}
+
+	connectComponents(g, rng)
+	return g
+}
+
+// hasEdge reports whether g already contains edge (u,v).
+func hasEdge(g *Graph, u, v int) bool {
+	for _, w := range g.Succ(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// connectComponents adds forward edges until the graph is weakly connected.
+func connectComponents(g *Graph, rng *rand.Rand) {
+	n := g.NumNodes()
+	for {
+		comp := weakComponents(g)
+		if comp.count <= 1 {
+			return
+		}
+		// Join the component of node 0 with another component using a
+		// forward edge (low ID -> high ID keeps the graph acyclic).
+		var a, b = -1, -1
+		for v := 0; v < n; v++ {
+			if comp.id[v] != comp.id[0] {
+				b = v
+				break
+			}
+		}
+		for v := 0; v < b; v++ {
+			if comp.id[v] == comp.id[0] {
+				a = v
+			}
+		}
+		if a == -1 {
+			// Component of 0 has no node with ID below b; flip direction.
+			for v := b + 1; v < n; v++ {
+				if comp.id[v] == comp.id[0] {
+					g.AddEdge(b, v)
+					a = v
+					break
+				}
+			}
+			if a == -1 {
+				g.AddEdge(0, b)
+			}
+			continue
+		}
+		_ = rng
+		g.AddEdge(a, b)
+	}
+}
+
+type components struct {
+	id    []int
+	count int
+}
+
+func weakComponents(g *Graph) components {
+	n := g.NumNodes()
+	id := make([]int, n)
+	for i := range id {
+		id[i] = -1
+	}
+	c := 0
+	for s := 0; s < n; s++ {
+		if id[s] != -1 {
+			continue
+		}
+		stack := []int{s}
+		id[s] = c
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Succ(v) {
+				if id[w] == -1 {
+					id[w] = c
+					stack = append(stack, w)
+				}
+			}
+			for _, w := range g.Pred(v) {
+				if id[w] == -1 {
+					id[w] = c
+					stack = append(stack, w)
+				}
+			}
+		}
+		c++
+	}
+	return components{id: id, count: c}
+}

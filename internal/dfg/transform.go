@@ -1,0 +1,168 @@
+package dfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the compiler-style clean-up passes a front end runs
+// before mapping: common-subexpression elimination and dead-code
+// elimination. The kernels in internal/kernels are already clean, but DFGs
+// imported from DOT/JSON files (or produced by unrolling with a smarter
+// sharing policy) benefit, and smaller DFGs mean lower resource-minimal II.
+
+// CSE returns a new graph with structurally identical operations merged: two
+// nodes merge when they have the same op kind and the same ordered operand
+// list (after merging their operands). Stores and loads never merge — loads
+// may alias different memory traffic, stores are effects. The second return
+// value maps old node IDs to new ones.
+func CSE(g *Graph) (*Graph, []int) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	out := New(g.Name + "_cse")
+	remap := make([]int, g.NumNodes())
+	for i := range remap {
+		remap[i] = -1
+	}
+	type key struct {
+		op   OpKind
+		args string
+	}
+	seen := map[key]int{}
+
+	argsKey := func(v int) string {
+		ins := g.InEdges(v)
+		ids := make([]int, len(ins))
+		for i, e := range ins {
+			ids[i] = remap[g.Edges[e].From]
+		}
+		return fmt.Sprint(ids)
+	}
+
+	for _, v := range topo {
+		op := g.Nodes[v].Op
+		mergeable := op != OpLoad && op != OpStore
+		k := key{op: op, args: argsKey(v)}
+		if mergeable {
+			if op == OpConst {
+				// Constants merge by name: distinct names are distinct
+				// loop-invariant values.
+				k.args = g.Nodes[v].Name
+			}
+			if prev, ok := seen[k]; ok {
+				remap[v] = prev
+				continue
+			}
+		}
+		id := out.AddNode(uniqueName(out, g.Nodes[v].Name), op)
+		remap[v] = id
+		if mergeable {
+			seen[k] = id
+		}
+		for _, e := range g.InEdges(v) {
+			out.AddEdge(remap[g.Edges[e].From], id)
+		}
+	}
+	return out, remap
+}
+
+// DCE returns a new graph with every node removed that cannot reach a store
+// (dead computation). Graphs without stores are returned unchanged — there
+// is no effect to anchor liveness on.
+func DCE(g *Graph) (*Graph, []int) {
+	hasStore := false
+	for _, n := range g.Nodes {
+		if n.Op == OpStore {
+			hasStore = true
+			break
+		}
+	}
+	remap := make([]int, g.NumNodes())
+	if !hasStore {
+		out := g.Clone()
+		for i := range remap {
+			remap[i] = i
+		}
+		return out, remap
+	}
+	an := Analyze(g)
+	live := make([]bool, g.NumNodes())
+	for v, n := range g.Nodes {
+		if n.Op == OpStore {
+			live[v] = true
+			continue
+		}
+		for w, m := range g.Nodes {
+			if m.Op == OpStore && an.IsAncestor(v, w) {
+				live[v] = true
+				break
+			}
+		}
+	}
+	out := New(g.Name + "_dce")
+	for i := range remap {
+		remap[i] = -1
+	}
+	// Preserve ID order for determinism.
+	for v := range g.Nodes {
+		if live[v] {
+			remap[v] = out.AddNode(g.Nodes[v].Name, g.Nodes[v].Op)
+		}
+	}
+	for _, e := range g.Edges {
+		if remap[e.From] >= 0 && remap[e.To] >= 0 {
+			out.AddEdge(remap[e.From], remap[e.To])
+		}
+	}
+	return out, remap
+}
+
+// Optimize applies DCE then CSE and returns the composed remap.
+func Optimize(g *Graph) (*Graph, []int) {
+	d, r1 := DCE(g)
+	c, r2 := CSE(d)
+	out := make([]int, g.NumNodes())
+	for v := range out {
+		if r1[v] < 0 {
+			out[v] = -1
+		} else {
+			out[v] = r2[r1[v]]
+		}
+	}
+	return c, out
+}
+
+// uniqueName suffixes a name until it is free in g.
+func uniqueName(g *Graph, base string) string {
+	if _, taken := g.NodeByName(base); !taken {
+		return base
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s_%d", base, i)
+		if _, taken := g.NodeByName(cand); !taken {
+			return cand
+		}
+	}
+}
+
+// OpHistogram counts nodes per operation kind (compiler statistics; the
+// systolic feasibility discussion in DESIGN.md is driven by these numbers).
+func OpHistogram(g *Graph) map[OpKind]int {
+	h := map[OpKind]int{}
+	for _, n := range g.Nodes {
+		h[n.Op]++
+	}
+	return h
+}
+
+// SortedOps returns the histogram keys sorted by kind for rendering.
+func SortedOps(h map[OpKind]int) []OpKind {
+	out := make([]OpKind, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

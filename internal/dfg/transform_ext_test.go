@@ -1,0 +1,157 @@
+package dfg_test
+
+// External test package: cross-checks the DFG optimization passes against
+// the simulator's reference evaluator (importing sim from an in-package test
+// would be an import cycle).
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/kernels"
+	"github.com/lisa-go/lisa/internal/sim"
+)
+
+// storeByName collects reference store events keyed by node name so results
+// can be compared across graphs with different node IDs.
+func storeByName(t *testing.T, g *dfg.Graph, iters int) map[string][]sim.Value {
+	t.Helper()
+	events, err := sim.Reference(g, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]sim.Value{}
+	for _, e := range events {
+		name := g.Nodes[e.Node].Name
+		out[name] = append(out[name], e.Value)
+	}
+	return out
+}
+
+func TestCSEPreservesSemantics(t *testing.T) {
+	// Build a graph with duplicated subexpressions.
+	b := dfg.NewBuilder("dup")
+	p, k := b.Const("p"), b.Const("k")
+	a1 := b.Addr("a1", p, k)
+	a2 := b.Addr("a2", p, k) // identical to a1
+	l1 := b.Load("l1", a1)
+	l2 := b.Load("l2", a2) // loads do not merge
+	s := b.Add("s", l1, l2)
+	b.Store("st", a1, s)
+	g := b.Graph()
+
+	opt, remap := dfg.CSE(g)
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// a1 and a2 merged; loads kept.
+	i1, _ := g.NodeByName("a1")
+	i2, _ := g.NodeByName("a2")
+	if remap[i1] != remap[i2] {
+		t.Error("identical address adds should merge")
+	}
+	j1, _ := g.NodeByName("l1")
+	j2, _ := g.NodeByName("l2")
+	if remap[j1] == remap[j2] {
+		t.Error("loads must never merge")
+	}
+	if opt.NumNodes() != g.NumNodes()-1 {
+		t.Errorf("CSE removed %d nodes, want 1", g.NumNodes()-opt.NumNodes())
+	}
+}
+
+func TestCSEOnKernelsIsIdentityAndSafe(t *testing.T) {
+	for _, name := range kernels.Names() {
+		g := kernels.MustByName(name)
+		opt, _ := dfg.CSE(g)
+		if err := opt.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if opt.NumNodes() > g.NumNodes() {
+			t.Fatalf("%s: CSE grew the graph", name)
+		}
+	}
+}
+
+func TestDCERemovesDeadChains(t *testing.T) {
+	b := dfg.NewBuilder("dead")
+	p := b.Const("p")
+	l := b.Load("l", p)
+	live := b.Add("live", l, p)
+	b.Store("st", p, live)
+	dead := b.Mul("dead", l, l)
+	_ = b.Add("deader", dead, l) // chain with no path to any store
+	g := b.Graph()
+
+	opt, remap := dfg.DCE(g)
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumNodes() != g.NumNodes()-2 {
+		t.Fatalf("DCE kept %d nodes, want %d", opt.NumNodes(), g.NumNodes()-2)
+	}
+	dn, _ := g.NodeByName("dead")
+	if remap[dn] != -1 {
+		t.Error("dead node survived")
+	}
+	// Store output unchanged.
+	want := storeByName(t, g, 3)
+	got := storeByName(t, opt, 3)
+	if len(got["st"]) != len(want["st"]) {
+		t.Fatal("store stream length changed")
+	}
+	for i := range want["st"] {
+		if got["st"][i] != want["st"][i] {
+			t.Fatal("DCE changed stored values")
+		}
+	}
+}
+
+func TestDCEWithoutStoresIsIdentity(t *testing.T) {
+	g := dfg.New("nostores")
+	a := g.AddNode("a", dfg.OpAdd)
+	b := g.AddNode("b", dfg.OpMul)
+	g.AddEdge(a, b)
+	opt, remap := dfg.DCE(g)
+	if opt.NumNodes() != 2 || remap[0] != 0 || remap[1] != 1 {
+		t.Fatal("store-free graph must pass through unchanged")
+	}
+}
+
+func TestOptimizeRandomGraphsStaysValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.Random(rng, dfg.DefaultRandomConfig(), "r")
+		opt, remap := dfg.Optimize(g)
+		if opt.NumNodes() == 0 {
+			continue // everything dead is legal for store-free graphs? (guarded by DCE identity)
+		}
+		if err := opt.Validate(); err != nil {
+			// Optimize can disconnect a graph when pruning; only structural
+			// invariants other than connectivity must hold.
+			if opt.NumNodes() > 1 && opt.WeaklyConnected() {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		for v := range remap {
+			if remap[v] >= opt.NumNodes() {
+				t.Fatalf("seed %d: remap out of range", seed)
+			}
+		}
+	}
+}
+
+func TestOpHistogram(t *testing.T) {
+	g := kernels.MustByName("gemm")
+	h := dfg.OpHistogram(g)
+	if h[dfg.OpLoad] != 3 || h[dfg.OpStore] != 1 {
+		t.Fatalf("gemm histogram wrong: %v", h)
+	}
+	ops := dfg.SortedOps(h)
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1] >= ops[i] {
+			t.Fatal("ops not sorted")
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/kernels"
+	"github.com/lisa-go/lisa/internal/mapper"
+	"github.com/lisa-go/lisa/internal/power"
+	"github.com/lisa-go/lisa/internal/traingen"
+)
+
+// CompareRow holds the results of every method for one kernel on one
+// architecture; Figs. 9, 10 and 11 all derive from these rows.
+type CompareRow struct {
+	Kernel  string
+	Graph   *dfg.Graph
+	Results map[Method]mapper.Result
+}
+
+// Comparison is one figure panel: an architecture, a kernel set and the
+// methods' results.
+type Comparison struct {
+	Arch    arch.Arch
+	Label   string // e.g. "Fig9a"
+	Methods []Method
+	Rows    []CompareRow
+}
+
+// Fig9Spec identifies one panel of Fig. 9.
+type Fig9Spec struct {
+	ID       string
+	Arch     arch.Arch
+	Kernels  []string
+	Unrolled bool
+}
+
+// Fig9Specs returns the seven panels of Fig. 9 in paper order.
+func Fig9Specs() []Fig9Spec {
+	return []Fig9Spec{
+		{ID: "Fig9a", Arch: arch.NewBaseline3x3(), Kernels: kernels.Names()},
+		{ID: "Fig9b", Arch: arch.NewBaseline4x4(), Kernels: kernels.Names()},
+		{ID: "Fig9c", Arch: arch.NewLessRouting4x4(), Kernels: kernels.Names()},
+		{ID: "Fig9d", Arch: arch.NewBaseline4x4(), Kernels: kernels.UnrolledNames4x4(), Unrolled: true},
+		{ID: "Fig9e", Arch: arch.NewLessMem4x4(), Kernels: kernels.Names()},
+		{ID: "Fig9f", Arch: arch.NewBaseline8x8(), Kernels: kernels.UnrolledNames8x8(), Unrolled: true},
+		{ID: "Fig9g", Arch: arch.NewSystolic5x5(), Kernels: kernels.Names()},
+	}
+}
+
+// Fig9SpecByID resolves one panel.
+func Fig9SpecByID(id string) (Fig9Spec, bool) {
+	for _, s := range Fig9Specs() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Fig9Spec{}, false
+}
+
+// Compare runs the given methods over a kernel set on one architecture.
+func (c *Context) Compare(label string, ar arch.Arch, kernelNames []string,
+	unrolled bool, methods []Method) *Comparison {
+
+	cmp := &Comparison{Arch: ar, Label: label, Methods: methods}
+	for _, name := range kernelNames {
+		var g *dfg.Graph
+		var err error
+		if unrolled {
+			g, err = kernels.Unrolled(name)
+		} else {
+			g, err = kernels.ByName(name)
+		}
+		if err != nil {
+			panic(err)
+		}
+		row := CompareRow{Kernel: g.Name, Graph: g, Results: map[Method]mapper.Result{}}
+		for _, m := range methods {
+			row.Results[m] = c.Run(ar, g, m)
+		}
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	return cmp
+}
+
+// Fig9 runs one panel of Fig. 9 (ILP vs SA vs LISA mapping quality).
+func (c *Context) Fig9(spec Fig9Spec) *Comparison {
+	return c.Compare(spec.ID, spec.Arch, spec.Kernels, spec.Unrolled,
+		[]Method{MethodILP, MethodSA, MethodLISA})
+}
+
+// Fig12 runs one panel of the routing-priority ablation (SA vs SA-RP vs
+// LISA; paper Fig. 12 on the 4×4 baseline and less-routing CGRAs).
+func (c *Context) Fig12(ar arch.Arch) *Comparison {
+	return c.Compare("Fig12:"+ar.Name(), ar, kernels.Names(), false,
+		[]Method{MethodSA, MethodSARP, MethodLISA})
+}
+
+// Fig13 runs the SA-M ablation on the 4×4 baseline over the original and
+// unrolled DFG sets (paper Fig. 13).
+func (c *Context) Fig13() (orig, unrolled *Comparison) {
+	methods := []Method{MethodSA, MethodSAM, MethodLISA}
+	ar := arch.NewBaseline4x4()
+	orig = c.Compare("Fig13", ar, kernels.UnrolledNames4x4(), false, methods)
+	unrolled = c.Compare("Fig13u", ar, kernels.UnrolledNames4x4(), true, methods)
+	return orig, unrolled
+}
+
+// PowerRow is one bar group of Fig. 10: MOPS/W per method, normalized to
+// LISA.
+type PowerRow struct {
+	Kernel     string
+	MOPSPerW   map[Method]float64
+	Normalized map[Method]float64 // relative to LISA (1.0 when equal)
+}
+
+// Fig10 derives the power-efficiency figure from a Fig. 9 comparison.
+func Fig10(cmp *Comparison, params power.ModelParams) []PowerRow {
+	var rows []PowerRow
+	for _, r := range cmp.Rows {
+		pr := PowerRow{
+			Kernel:     r.Kernel,
+			MOPSPerW:   map[Method]float64{},
+			Normalized: map[Method]float64{},
+		}
+		for m, res := range r.Results {
+			if res.OK {
+				rep := power.Evaluate(cmp.Arch, r.Graph, res.II, res.RoutingCost, params)
+				pr.MOPSPerW[m] = rep.MOPSPerWatt
+			}
+		}
+		base := pr.MOPSPerW[MethodLISA]
+		for m, v := range pr.MOPSPerW {
+			if base > 0 {
+				pr.Normalized[m] = v / base
+			}
+		}
+		rows = append(rows, pr)
+	}
+	return rows
+}
+
+// TimeRow is one bar group of Fig. 11: compilation time per method.
+type TimeRow struct {
+	Kernel string
+	Times  map[Method]time.Duration
+	Mapped map[Method]bool
+}
+
+// Fig11 derives the compilation-time figure from a Fig. 9 comparison; for
+// methods that cannot map, the termination time counts as compilation time,
+// as in the paper.
+func Fig11(cmp *Comparison) []TimeRow {
+	var rows []TimeRow
+	for _, r := range cmp.Rows {
+		tr := TimeRow{Kernel: r.Kernel, Times: map[Method]time.Duration{}, Mapped: map[Method]bool{}}
+		for m, res := range r.Results {
+			tr.Times[m] = res.Duration
+			tr.Mapped[m] = res.OK
+		}
+		rows = append(rows, tr)
+	}
+	return rows
+}
+
+// GeomeanSpeedup summarizes Fig. 11 the way the paper's prose does:
+// the average factor by which LISA's compilation is faster than the other
+// method (arithmetic mean of ratios over kernels, as "594x/17x" style
+// aggregates are reported).
+func GeomeanSpeedup(rows []TimeRow, other Method) float64 {
+	sum, n := 0.0, 0
+	for _, r := range rows {
+		lisa := r.Times[MethodLISA]
+		o := r.Times[other]
+		if lisa > 0 && o > 0 {
+			sum += float64(o) / float64(lisa)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Table2Row is one line of Table II: per-label GNN prediction accuracy on a
+// held-out split of the generated dataset.
+type Table2Row struct {
+	ArchName string
+	Accuracy [4]float64
+	Samples  int
+}
+
+// Table2 trains (via the context cache) and evaluates the GNN for each
+// architecture. Accuracy is measured on a fresh dataset generated with a
+// different seed — the equivalent of the paper's held-out evaluation.
+func (c *Context) Table2(targets []arch.Arch) []Table2Row {
+	var rows []Table2Row
+	for _, ar := range targets {
+		model := c.ModelFor(ar)
+		cfg := c.Profile.TrainGen
+		cfg.Seed = c.Profile.Seed + 99991
+		cfg.NumDFGs = maxInt(12, cfg.NumDFGs/2)
+		ds := traingen.Generate(ar, cfg)
+		row := Table2Row{ArchName: ar.Name(), Samples: len(ds.Samples)}
+		if len(ds.Samples) > 0 {
+			row.Accuracy = model.Accuracy(ds.Samples)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Render writes a Comparison as a paper-style text table: II per method for
+// CGRAs (0 = cannot map), ✓/✗ for the systolic array.
+func (cmp *Comparison) Render(w io.Writer) {
+	systolic := cmp.Arch.MaxII() == 1
+	fmt.Fprintf(w, "%s — %s (", cmp.Label, cmp.Arch.Name())
+	if systolic {
+		fmt.Fprintf(w, "mapped ✓ / not mapped ✗")
+	} else {
+		fmt.Fprintf(w, "II; 0 = cannot map")
+	}
+	fmt.Fprintf(w, ")\n")
+
+	fmt.Fprintf(w, "%-12s", "kernel")
+	for _, m := range cmp.Methods {
+		fmt.Fprintf(w, "%8s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range cmp.Rows {
+		fmt.Fprintf(w, "%-12s", r.Kernel)
+		for _, m := range cmp.Methods {
+			res := r.Results[m]
+			if systolic {
+				mark := "✗" // ✗
+				if res.OK {
+					mark = "✓" // ✓
+				}
+				fmt.Fprintf(w, "%8s", mark)
+			} else {
+				fmt.Fprintf(w, "%8d", res.II)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderPower writes Fig. 10 rows (normalized MOPS/W).
+func RenderPower(w io.Writer, label string, methods []Method, rows []PowerRow) {
+	fmt.Fprintf(w, "%s — power efficiency normalized to LISA\n", label)
+	fmt.Fprintf(w, "%-12s", "kernel")
+	for _, m := range methods {
+		fmt.Fprintf(w, "%8s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s", r.Kernel)
+		for _, m := range methods {
+			if v, ok := r.Normalized[m]; ok {
+				fmt.Fprintf(w, "%8.2f", v)
+			} else {
+				fmt.Fprintf(w, "%8s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderTimes writes Fig. 11 rows; unmapped methods show the termination
+// time with a trailing ✗.
+func RenderTimes(w io.Writer, label string, methods []Method, rows []TimeRow) {
+	fmt.Fprintf(w, "%s — compilation time\n", label)
+	fmt.Fprintf(w, "%-12s", "kernel")
+	for _, m := range methods {
+		fmt.Fprintf(w, "%14s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s", r.Kernel)
+		for _, m := range methods {
+			mark := ""
+			if !r.Mapped[m] {
+				mark = "✗"
+			}
+			fmt.Fprintf(w, "%13s%s", r.Times[m].Round(time.Millisecond), orSpace(mark))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, m := range methods {
+		if m == MethodLISA {
+			continue
+		}
+		if sp := GeomeanSpeedup(rows, m); sp > 0 {
+			fmt.Fprintf(w, "LISA compile-time reduction vs %s: %.1fx\n", m, sp)
+		}
+	}
+}
+
+func orSpace(s string) string {
+	if s == "" {
+		return " "
+	}
+	return s
+}
+
+// RenderTable2 writes Table II.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table II — GNN label prediction accuracy")
+	fmt.Fprintf(w, "%-24s%8s%8s%8s%8s%10s\n",
+		"architecture", "label1", "label2", "label3", "label4", "samples")
+	for _, r := range rows {
+		if r.Samples == 0 {
+			fmt.Fprintf(w, "%-24s%8s%8s%8s%8s%10d\n", r.ArchName, "-", "-", "-", "-", 0)
+			continue
+		}
+		fmt.Fprintf(w, "%-24s%8.3f%8.3f%8.3f%8.3f%10d\n",
+			r.ArchName, r.Accuracy[0], r.Accuracy[1], r.Accuracy[2], r.Accuracy[3], r.Samples)
+	}
+}
+
+// Summary counts paper-style aggregates over a set of comparisons: how many
+// combinations each method mapped, and on how many LISA achieved strictly
+// better / worse II than SA.
+type Summary struct {
+	Combinations int
+	MappedBy     map[Method]int
+	LISABetter   int
+	LISAWorse    int
+}
+
+// Summarize aggregates comparisons.
+func Summarize(cmps []*Comparison) Summary {
+	s := Summary{MappedBy: map[Method]int{}}
+	for _, cmp := range cmps {
+		for _, r := range cmp.Rows {
+			s.Combinations++
+			for m, res := range r.Results {
+				if res.OK {
+					s.MappedBy[m]++
+				}
+			}
+			sa, lisa := r.Results[MethodSA], r.Results[MethodLISA]
+			switch {
+			case lisa.OK && !sa.OK:
+				s.LISABetter++
+			case !lisa.OK && sa.OK:
+				s.LISAWorse++
+			case lisa.OK && sa.OK && lisa.II < sa.II:
+				s.LISABetter++
+			case lisa.OK && sa.OK && lisa.II > sa.II:
+				s.LISAWorse++
+			}
+		}
+	}
+	return s
+}
+
+// String renders the summary one-liner.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d combinations:", s.Combinations)
+	for _, m := range []Method{MethodILP, MethodSA, MethodLISA} {
+		if n, ok := s.MappedBy[m]; ok {
+			fmt.Fprintf(&b, " %s maps %d;", m, n)
+		}
+	}
+	fmt.Fprintf(&b, " LISA better/worse than SA: %d/%d", s.LISABetter, s.LISAWorse)
+	return b.String()
+}
+
+// Portability runs the LISA-vs-baselines sweep over the extended target set
+// (the paper's six plus the torus and heterogeneous CGRA variants): the
+// scenario a portable compiler exists for. Methods: Greedy (one-pass list
+// scheduling), SA, LISA.
+func (c *Context) Portability(kernelNames []string) []*Comparison {
+	var out []*Comparison
+	for _, ar := range arch.ExtendedTargets() {
+		out = append(out, c.Compare("Portability:"+ar.Name(), ar, kernelNames, false,
+			[]Method{MethodGreedy, MethodSA, MethodLISA}))
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+// Package gnn implements the four per-label graph neural networks of the
+// paper's §IV-B on top of the internal/tensor autodiff engine:
+//
+//	label 1 (schedule order):   four message-passing layers, each evaluating
+//	                            eqs. (1)-(2): m' = W1·[mean,max,min of
+//	                            neighbor m]; h' = W2(W3·h + m').
+//	label 2 (same-level assoc): an MLP over the dummy-edge attributes,
+//	                            eq. (3), hidden width = attribute count.
+//	label 3 (spatial distance): eqs. (4)-(6): a convolution of the edge
+//	                            attributes, a normalization vector ν built
+//	                            from reciprocal mean/sum/max/min aggregates
+//	                            over the edges incident to the endpoints, and
+//	                            h² = W2·h¹ + ν ⊙ W3·h¹.
+//	label 4 (temporal distance): an MLP over the edge attributes, eq. (7).
+//
+// One Model bundles the four networks for a single accelerator; retraining a
+// Model on a new accelerator's label data is what makes LISA portable.
+package gnn
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/lisa-go/lisa/internal/attr"
+	"github.com/lisa-go/lisa/internal/labels"
+	"github.com/lisa-go/lisa/internal/tensor"
+)
+
+// hidden1 is the hidden width of the schedule-order network.
+const hidden1 = 8
+
+// Label1Net is the schedule-order network (eqs. 1-2, four layers).
+type Label1Net struct {
+	W0 *tensor.Tensor // attribute embedding: NodeAttrDim -> H
+	Wh *tensor.Tensor // ASAP embedding: 1 -> H
+	// Per layer: W1 aggregates [mean,max,min] (3H -> H); W3 transforms h
+	// (H -> H); W2 combines (H -> H).
+	W1, W2, W3 [4]*tensor.Tensor
+	Out        *tensor.Tensor // H -> 1
+}
+
+// NewLabel1Net initializes the schedule-order network.
+func NewLabel1Net(rng *rand.Rand) *Label1Net {
+	n := &Label1Net{
+		W0:  tensor.Param(rng, attr.NodeAttrDim, hidden1),
+		Wh:  tensor.Param(rng, 1, hidden1),
+		Out: tensor.Param(rng, hidden1, 1),
+	}
+	for t := 0; t < 4; t++ {
+		n.W1[t] = tensor.Param(rng, 3*hidden1, hidden1)
+		n.W2[t] = tensor.Param(rng, hidden1, hidden1)
+		n.W3[t] = tensor.Param(rng, hidden1, hidden1)
+	}
+	return n
+}
+
+// Params lists the trainable tensors.
+func (n *Label1Net) Params() []*tensor.Tensor {
+	out := []*tensor.Tensor{n.W0, n.Wh, n.Out}
+	for t := 0; t < 4; t++ {
+		out = append(out, n.W1[t], n.W2[t], n.W3[t])
+	}
+	return out
+}
+
+// Forward predicts one schedule-order value per node. nodeAttrs is the
+// scaled [n × NodeAttrDim] attribute matrix, asap the scaled [n × 1] ASAP
+// column, and neighbors the undirected adjacency sets.
+func (n *Label1Net) Forward(nodeAttrs, asap *tensor.Tensor, neighbors [][]int) *tensor.Tensor {
+	m := tensor.MatMul(nodeAttrs, n.W0) // m⁰ = W0 · Attributes(v)
+	h := tensor.MatMul(asap, n.Wh)      // h⁰ embeds the ASAP value
+	for t := 0; t < 4; t++ {
+		agg := tensor.ConcatCols(
+			tensor.Aggregate(m, neighbors, tensor.AggMean),
+			tensor.Aggregate(m, neighbors, tensor.AggMax),
+			tensor.Aggregate(m, neighbors, tensor.AggMin),
+		)
+		m = tensor.MatMul(agg, n.W1[t])                                      // eq. (1)
+		h = tensor.MatMul(tensor.Add(tensor.MatMul(h, n.W3[t]), m), n.W2[t]) // eq. (2)
+		h = tensor.ReLU(h)
+	}
+	return tensor.MatMul(h, n.Out)
+}
+
+// MLP is the two-layer perceptron used by the label-2 and label-4 networks
+// (eqs. 3 and 7): hidden channels equal the input attribute count, ReLU
+// activation.
+type MLP struct {
+	W1, W2 *tensor.Tensor
+}
+
+// NewMLP builds an MLP for the given input width.
+func NewMLP(rng *rand.Rand, in int) *MLP {
+	return &MLP{
+		W1: tensor.Param(rng, in, in),
+		W2: tensor.Param(rng, in, 1),
+	}
+}
+
+// Params lists the trainable tensors.
+func (m *MLP) Params() []*tensor.Tensor { return []*tensor.Tensor{m.W1, m.W2} }
+
+// Forward maps [k × in] attribute rows to [k × 1] predictions.
+func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.MatMul(tensor.ReLU(tensor.MatMul(x, m.W1)), m.W2)
+}
+
+// Label3Net is the spatial-mapping-distance network (eqs. 4-6).
+type Label3Net struct {
+	W1 *tensor.Tensor // edge attrs -> H (eq. 4)
+	Wn *tensor.Tensor // 4H reciprocal aggregates -> H (builds ν, eq. 5)
+	W2 *tensor.Tensor // H -> H (eq. 6)
+	W3 *tensor.Tensor // H -> H (eq. 6)
+	Wo *tensor.Tensor // H -> 1
+}
+
+// hidden3 is the hidden width of the spatial-distance network, equal to the
+// edge attribute count as in the paper.
+const hidden3 = attr.EdgeAttrDim
+
+// NewLabel3Net initializes the spatial-distance network.
+func NewLabel3Net(rng *rand.Rand) *Label3Net {
+	return &Label3Net{
+		W1: tensor.Param(rng, attr.EdgeAttrDim, hidden3),
+		Wn: tensor.Param(rng, 4*hidden3, hidden3),
+		W2: tensor.Param(rng, hidden3, hidden3),
+		W3: tensor.Param(rng, hidden3, hidden3),
+		Wo: tensor.Param(rng, hidden3, 1),
+	}
+}
+
+// Params lists the trainable tensors.
+func (n *Label3Net) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{n.W1, n.Wn, n.W2, n.W3, n.Wo}
+}
+
+// Forward predicts one spatial distance per edge. edgeAttrs is [m ×
+// EdgeAttrDim]; incident[i] lists the edge indexes incident to edge i's
+// endpoints (the e(v) of eq. 5).
+func (n *Label3Net) Forward(edgeAttrs *tensor.Tensor, incident [][]int) *tensor.Tensor {
+	h1 := tensor.MatMul(edgeAttrs, n.W1) // eq. (4)
+	// eq. (5): ν from reciprocal mean/sum/max/min aggregates over e(v).
+	recip := func(kind tensor.AggKind) *tensor.Tensor {
+		return tensor.Reciprocal(tensor.Aggregate(h1, incident, kind), 1e-6)
+	}
+	nu := tensor.MatMul(tensor.ConcatCols(
+		recip(tensor.AggMean), recip(tensor.AggSum),
+		recip(tensor.AggMax), recip(tensor.AggMin),
+	), n.Wn)
+	// eq. (6): h² = W2·h¹ + ν ⊙ W3·h¹.
+	h2 := tensor.Add(tensor.MatMul(h1, n.W2), tensor.Mul(nu, tensor.MatMul(h1, n.W3)))
+	return tensor.MatMul(tensor.ReLU(h2), n.Wo)
+}
+
+// Model bundles the four per-label networks trained for one accelerator.
+type Model struct {
+	ArchName string
+
+	Order    *Label1Net
+	Same     *MLP // label 2 over dummy-edge attributes
+	Spatial  *Label3Net
+	Temporal *MLP // label 4 over edge attributes
+
+	// Column scalers (computed from the training set) keep the raw count
+	// attributes in a well-conditioned range.
+	NodeScale  []float64
+	EdgeScale  []float64
+	DummyScale []float64
+	ASAPScale  float64
+}
+
+// NewModel initializes an untrained model.
+func NewModel(rng *rand.Rand, archName string) *Model {
+	return &Model{
+		ArchName: archName,
+		Order:    NewLabel1Net(rng),
+		Same:     NewMLP(rng, attr.DummyAttrDim),
+		Spatial:  NewLabel3Net(rng),
+		Temporal: NewMLP(rng, attr.EdgeAttrDim),
+	}
+}
+
+// Predict runs all four networks on a DFG's attribute set and assembles a
+// label set for the mapper.
+func (m *Model) Predict(set *attr.Set) *labels.Labels {
+	g := set.An.G
+	out := labels.NewZero(g)
+
+	if g.NumNodes() > 0 {
+		na, asap := m.scaledNodeInputs(set)
+		pred := m.Order.Forward(na, asap, undirectedNeighbors(set))
+		for v := 0; v < g.NumNodes(); v++ {
+			out.Order[v] = clampMin(pred.At(v, 0), 0)
+		}
+	}
+	if g.NumEdges() > 0 {
+		ea := m.scaledMatrix(set.Edge, m.EdgeScale)
+		sp := m.Spatial.Forward(ea, incidentEdges(set))
+		tp := m.Temporal.Forward(ea)
+		for e := 0; e < g.NumEdges(); e++ {
+			out.Spatial[e] = clampMin(sp.At(e, 0), 0)
+			out.Temporal[e] = clampMin(tp.At(e, 0), 1)
+		}
+	}
+	if len(set.DummyPairs) > 0 {
+		da := m.scaledMatrix(set.Dummy, m.DummyScale)
+		sl := m.Same.Forward(da)
+		for i, p := range set.DummyPairs {
+			out.SameLevel[p] = clampMin(sl.At(i, 0), 0)
+		}
+	}
+	return out
+}
+
+func clampMin(x, lo float64) float64 {
+	if x < lo {
+		return lo
+	}
+	return x
+}
+
+// undirectedNeighbors returns each node's parents+children index sets.
+func undirectedNeighbors(set *attr.Set) [][]int {
+	g := set.An.G
+	nb := make([][]int, g.NumNodes())
+	for v := range nb {
+		nb[v] = append(nb[v], g.Pred(v)...)
+		nb[v] = append(nb[v], g.Succ(v)...)
+	}
+	return nb
+}
+
+// incidentEdges returns, per edge, the indexes of edges sharing an endpoint
+// with it (including itself) — the e(v) sets of eq. (5).
+func incidentEdges(set *attr.Set) [][]int {
+	g := set.An.G
+	out := make([][]int, g.NumEdges())
+	for i, e := range g.Edges {
+		seen := map[int]bool{}
+		for _, v := range []int{e.From, e.To} {
+			for _, ie := range g.InEdges(v) {
+				seen[ie] = true
+			}
+			for _, oe := range g.OutEdges(v) {
+				seen[oe] = true
+			}
+		}
+		for ie := range seen {
+			out[i] = append(out[i], ie)
+		}
+		// Deterministic order keeps float aggregation bit-reproducible.
+		sort.Ints(out[i])
+	}
+	return out
+}
+
+// scaledNodeInputs builds the scaled node-attribute matrix and ASAP column.
+func (m *Model) scaledNodeInputs(set *attr.Set) (na, asap *tensor.Tensor) {
+	na = m.scaledMatrix(set.Node, m.NodeScale)
+	g := set.An.G
+	asap = tensor.New(g.NumNodes(), 1)
+	s := m.ASAPScale
+	if s == 0 {
+		s = 1
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		asap.Set(v, 0, float64(set.An.ASAP[v])/s)
+	}
+	return na, asap
+}
+
+// scaledMatrix divides each column by its training-set scale (1 when the
+// model is unscaled).
+func (m *Model) scaledMatrix(rows [][]float64, scale []float64) *tensor.Tensor {
+	t := tensor.FromRows(rows)
+	if scale == nil {
+		return t
+	}
+	for i := 0; i < t.Rows; i++ {
+		for j := 0; j < t.Cols && j < len(scale); j++ {
+			if scale[j] != 0 {
+				t.Set(i, j, t.At(i, j)/scale[j])
+			}
+		}
+	}
+	return t
+}

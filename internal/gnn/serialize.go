@@ -1,0 +1,94 @@
+package gnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/lisa-go/lisa/internal/tensor"
+)
+
+// modelFile is the on-disk JSON schema of a trained model.
+type modelFile struct {
+	Format   int                    `json:"format"`
+	ArchName string                 `json:"arch"`
+	Weights  map[string]*tensorFile `json:"weights"`
+
+	NodeScale  []float64 `json:"nodeScale"`
+	EdgeScale  []float64 `json:"edgeScale"`
+	DummyScale []float64 `json:"dummyScale"`
+	ASAPScale  float64   `json:"asapScale"`
+}
+
+type tensorFile struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+const modelFormat = 1
+
+// namedWeights enumerates every trainable tensor with a stable name.
+func (m *Model) namedWeights() map[string]*tensor.Tensor {
+	w := map[string]*tensor.Tensor{
+		"order.W0": m.Order.W0, "order.Wh": m.Order.Wh, "order.Out": m.Order.Out,
+		"same.W1": m.Same.W1, "same.W2": m.Same.W2,
+		"spatial.W1": m.Spatial.W1, "spatial.Wn": m.Spatial.Wn,
+		"spatial.W2": m.Spatial.W2, "spatial.W3": m.Spatial.W3, "spatial.Wo": m.Spatial.Wo,
+		"temporal.W1": m.Temporal.W1, "temporal.W2": m.Temporal.W2,
+	}
+	for t := 0; t < 4; t++ {
+		w[fmt.Sprintf("order.W1.%d", t)] = m.Order.W1[t]
+		w[fmt.Sprintf("order.W2.%d", t)] = m.Order.W2[t]
+		w[fmt.Sprintf("order.W3.%d", t)] = m.Order.W3[t]
+	}
+	return w
+}
+
+// Save writes the trained model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	f := modelFile{
+		Format:   modelFormat,
+		ArchName: m.ArchName,
+		Weights:  map[string]*tensorFile{},
+
+		NodeScale:  m.NodeScale,
+		EdgeScale:  m.EdgeScale,
+		DummyScale: m.DummyScale,
+		ASAPScale:  m.ASAPScale,
+	}
+	for name, t := range m.namedWeights() {
+		f.Weights[name] = &tensorFile{Rows: t.Rows, Cols: t.Cols, Data: t.Data}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// Load reads a model saved by Save into a freshly initialized Model.
+func Load(r io.Reader, seedModel *Model) (*Model, error) {
+	var f modelFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("gnn: decode model: %w", err)
+	}
+	if f.Format != modelFormat {
+		return nil, fmt.Errorf("gnn: unsupported model format %d", f.Format)
+	}
+	m := seedModel
+	m.ArchName = f.ArchName
+	m.NodeScale = f.NodeScale
+	m.EdgeScale = f.EdgeScale
+	m.DummyScale = f.DummyScale
+	m.ASAPScale = f.ASAPScale
+	for name, t := range m.namedWeights() {
+		src, ok := f.Weights[name]
+		if !ok {
+			return nil, fmt.Errorf("gnn: model file missing weight %q", name)
+		}
+		if src.Rows != t.Rows || src.Cols != t.Cols {
+			return nil, fmt.Errorf("gnn: weight %q shape %dx%d, want %dx%d",
+				name, src.Rows, src.Cols, t.Rows, t.Cols)
+		}
+		copy(t.Data, src.Data)
+	}
+	return m, nil
+}

@@ -1,0 +1,89 @@
+package mapper
+
+import (
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/kernels"
+)
+
+func TestGreedyMapsEasyKernels(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	for _, name := range []string{"gemm", "syrk", "doitgen"} {
+		g := kernels.MustByName(name)
+		res := MapGreedy(ar, g, Options{})
+		if !res.OK {
+			t.Errorf("%s: greedy failed on the roomy 4x4", name)
+			continue
+		}
+		if err := Verify(ar, g, &res); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGreedyIsDeterministic(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("atax")
+	a := MapGreedy(ar, g, Options{})
+	b := MapGreedy(ar, g, Options{})
+	if a.OK != b.OK || a.II != b.II {
+		t.Fatal("greedy must be deterministic")
+	}
+	if a.OK {
+		for v := range a.PE {
+			if a.PE[v] != b.PE[v] || a.Time[v] != b.Time[v] {
+				t.Fatal("greedy placement differs between runs")
+			}
+		}
+	}
+}
+
+func TestGreedyIsFasterThanSA(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	gr := MapGreedy(ar, g, Options{})
+	sa := Map(ar, g, AlgSA, nil, Options{Seed: 1})
+	if !gr.OK {
+		t.Skip("greedy failed; speed comparison moot")
+	}
+	if sa.OK && gr.Duration > sa.Duration {
+		t.Logf("note: greedy %v vs SA %v (not fatal, timing noise)", gr.Duration, sa.Duration)
+	}
+}
+
+func TestGreedyWorseOrEqualToLISAOnHardKernels(t *testing.T) {
+	// The motivation for label guidance: one-pass local choices get stuck
+	// on dense DFGs / constrained arrays where LISA still maps.
+	ar := arch.NewLessRouting4x4()
+	better, worse := 0, 0
+	for _, name := range []string{"bicg", "syr2k", "gesummv", "symm", "mvt"} {
+		g := kernels.MustByName(name)
+		gr := MapGreedy(ar, g, Options{})
+		li := Map(ar, g, AlgLISA, nil, quickOpts(4))
+		switch {
+		case li.OK && !gr.OK:
+			better++
+		case gr.OK && !li.OK:
+			worse++
+		case li.OK && gr.OK && li.II < gr.II:
+			better++
+		case li.OK && gr.OK && li.II > gr.II:
+			worse++
+		}
+	}
+	if worse > better {
+		t.Errorf("greedy beat LISA %d vs %d on constrained kernels", worse, better)
+	}
+}
+
+func TestGreedyRespectsMaxII(t *testing.T) {
+	ar := arch.NewBaseline3x3()
+	g := kernels.MustByName("syr2k")
+	res := MapGreedy(ar, g, Options{MaxII: 2})
+	for _, ii := range res.TriedIIs {
+		if ii > 2 {
+			t.Fatalf("greedy tried II %d beyond cap", ii)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package mapper implements the mapping engines of the paper's evaluation:
+// the vanilla simulated-annealing baseline (SA), SA with label-4 routing
+// priority only (the Fig. 12 ablation), SA-M with 10× movements per
+// temperature (the Fig. 13 ablation), the full label-aware simulated
+// annealing of Algorithm 1 (LISA), and the partial label-aware mode used
+// during training-data generation (§V-B: labels seed only the initial
+// mapping).
+//
+// All engines share one spatio-temporal mapping state over the architecture's
+// modulo routing resource graph: every DFG node gets a (PE, absolute cycle)
+// slot, every DFG edge gets an exact-length route, and the annealer repeats
+// unmap/re-place/re-route movements until the mapping is valid or the budget
+// runs out. The II sweep starts at the resource-minimal II and increments on
+// failure, exactly as §VI describes.
+package mapper
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/labels"
+)
+
+// Algorithm selects a mapping engine.
+type Algorithm string
+
+// The engines evaluated in the paper.
+const (
+	AlgSA   Algorithm = "sa"      // vanilla simulated annealing
+	AlgSARP Algorithm = "sa-rp"   // SA + routing priority (label 4 only)
+	AlgSAM  Algorithm = "sa-m"    // SA with 10x movements per temperature
+	AlgLISA Algorithm = "lisa"    // full label-aware SA (Algorithm 1)
+	AlgPart Algorithm = "partial" // labels seed the initial mapping only
+)
+
+// Options tunes the annealer. Zero values fall back to DefaultOptions.
+type Options struct {
+	Seed         int64
+	MaxMoves     int     // movement budget per II attempt
+	MovesPerTemp int     // paper keeps 50 movements per temperature
+	InitTemp     float64 // initial annealing temperature
+	Cool         float64 // geometric cooling factor
+	Alpha        float64 // α in σ = max{1, α·T − Acc} (Algorithm 1 line 7)
+	MaxII        int     // override of the architecture's max II (0 = arch)
+	TimeLimit    time.Duration
+}
+
+// DefaultOptions returns the budget profile used by tests and quick
+// experiments. The Paper profile in internal/experiments scales MaxMoves up.
+func DefaultOptions() Options {
+	return Options{
+		MaxMoves:     2400,
+		MovesPerTemp: 50,
+		InitTemp:     40,
+		Cool:         0.92,
+		Alpha:        0.15,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.MaxMoves == 0 {
+		o.MaxMoves = d.MaxMoves
+	}
+	if o.MovesPerTemp == 0 {
+		o.MovesPerTemp = d.MovesPerTemp
+	}
+	if o.InitTemp == 0 {
+		o.InitTemp = d.InitTemp
+	}
+	if o.Cool == 0 {
+		o.Cool = d.Cool
+	}
+	if o.Alpha == 0 {
+		o.Alpha = d.Alpha
+	}
+	return o
+}
+
+// Result reports one mapping run.
+type Result struct {
+	OK bool
+	// II is the achieved initiation interval when OK; for a failed run it
+	// is 0, matching the paper's "II is zero implies the benchmark cannot
+	// be mapped" convention.
+	II          int
+	PE          []int   // per-node PE (valid when OK)
+	Time        []int   // per-node absolute cycle (valid when OK)
+	EdgeHops    []int   // per-edge route length (valid when OK)
+	Routes      [][]int // per-edge resource-graph path incl. endpoints (valid when OK)
+	RoutingCost int     // routing resources consumed (valid when OK)
+	Moves       int     // total SA movements across the II sweep
+	Duration    time.Duration
+	TriedIIs    []int // the II values attempted, in order
+}
+
+// Stats converts a successful Result into the architecture-agnostic view the
+// label extractor consumes.
+func (r *Result) Stats(ar arch.Arch) *labels.MappingStats {
+	if !r.OK {
+		return nil
+	}
+	return &labels.MappingStats{
+		II:          r.II,
+		NodePE:      r.PE,
+		NodeTime:    r.Time,
+		EdgeHops:    r.EdgeHops,
+		RoutingCost: r.RoutingCost,
+		SpatialDist: ar.SpatialDistance,
+	}
+}
+
+// Map runs the selected algorithm for g on ar. lbl supplies the labels for
+// AlgSARP, AlgLISA and AlgPart; it may be nil for AlgSA/AlgSAM (and defaults
+// to the §V-B initialization for the label-using engines when nil).
+func Map(ar arch.Arch, g *dfg.Graph, alg Algorithm, lbl *labels.Labels, opts Options) Result {
+	opts = opts.withDefaults()
+	an := dfg.Analyze(g)
+	if lbl == nil {
+		lbl = labels.Initial(an)
+	}
+	cfg := engineConfig(alg, &opts)
+
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	maxII := ar.MaxII()
+	if opts.MaxII > 0 && opts.MaxII < maxII {
+		maxII = opts.MaxII
+	}
+	res := Result{}
+	for ii := ar.MinII(g); ii <= maxII; ii++ {
+		res.TriedIIs = append(res.TriedIIs, ii)
+		st := newState(ar, g, an, ii, lbl, cfg, opts.Alpha, rng)
+		ok, moves := st.anneal(opts, start)
+		res.Moves += moves
+		if ok {
+			res.OK = true
+			res.II = ii
+			res.PE = append([]int(nil), st.pe...)
+			res.Time = append([]int(nil), st.time...)
+			res.EdgeHops = make([]int, g.NumEdges())
+			res.Routes = make([][]int, g.NumEdges())
+			for e, p := range st.routes {
+				res.EdgeHops[e] = len(p) - 1
+				res.Routes[e] = append([]int(nil), p...)
+			}
+			res.RoutingCost = st.routingCost()
+			break
+		}
+		if opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit {
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// config captures which parts of Algorithm 1 an engine uses.
+type config struct {
+	useOrderLabel      bool // label 1 decides placement order
+	usePlacementLabels bool // labels 2/3/4 in the PE-candidate cost
+	useRoutingPriority bool // label 4 decides routing order
+	partial            bool // labels only seed the initial mapping
+}
+
+func engineConfig(alg Algorithm, opts *Options) config {
+	switch alg {
+	case AlgSA:
+		return config{}
+	case AlgSAM:
+		opts.MovesPerTemp *= 10
+		opts.MaxMoves *= 10
+		return config{}
+	case AlgSARP:
+		return config{useRoutingPriority: true}
+	case AlgPart:
+		return config{
+			useOrderLabel: true, usePlacementLabels: true,
+			useRoutingPriority: true, partial: true,
+		}
+	case AlgLISA:
+		return config{
+			useOrderLabel: true, usePlacementLabels: true,
+			useRoutingPriority: true,
+		}
+	default:
+		panic("mapper: unknown algorithm " + string(alg))
+	}
+}

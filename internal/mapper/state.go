@@ -1,0 +1,537 @@
+package mapper
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/labels"
+	"github.com/lisa-go/lisa/internal/rgraph"
+)
+
+// Cost weights. Penalties dominate real routing costs so the annealer always
+// prefers legalizing the mapping over shortening routes.
+const (
+	costUnplaced   = 1000.0
+	costFailedEdge = 400.0
+	costInfeasible = 50.0 // placement-candidate penalty for dt < 1
+	costTooFar     = 20.0 // placement-candidate penalty for spatial > dt
+)
+
+// pairRef links a node to one same-level partner and the label-2 value of
+// their dummy edge.
+type pairRef struct {
+	other int
+	want  float64
+}
+
+// state is one mapping attempt at a fixed II.
+type state struct {
+	ar  arch.Arch
+	g   *dfg.Graph
+	an  *dfg.Analysis
+	lbl *labels.Labels
+	cfg config
+	rng *rand.Rand
+
+	ii       int
+	schedLen int
+	diameter int
+
+	rg     *rgraph.Graph
+	occ    *rgraph.Occupancy
+	router *rgraph.Router
+
+	pe     []int   // -1 when unplaced
+	time   []int   // valid when placed
+	routes [][]int // per edge; nil when unrouted
+
+	order    []int // node IDs in placement order
+	partners [][]pairRef
+
+	attempted, accepted int     // for σ = max{1, α·T − Acc}
+	alpha               float64 // α of Algorithm 1 line 7
+	initialPhase        bool    // partial mode: labels only apply here
+}
+
+func newState(ar arch.Arch, g *dfg.Graph, an *dfg.Analysis, ii int,
+	lbl *labels.Labels, cfg config, alpha float64, rng *rand.Rand) *state {
+
+	st := &state{
+		ar: ar, g: g, an: an, lbl: lbl, cfg: cfg, rng: rng, ii: ii, alpha: alpha,
+		pe:   make([]int, g.NumNodes()),
+		time: make([]int, g.NumNodes()),
+	}
+	for i := range st.pe {
+		st.pe[i] = -1
+	}
+	st.routes = make([][]int, g.NumEdges())
+
+	st.diameter = 0
+	n := ar.NumPEs()
+	for a := 0; a < n; a++ {
+		if d := ar.SpatialDistance(0, a); d > st.diameter {
+			st.diameter = d
+		}
+		if d := ar.SpatialDistance(n-1, a); d > st.diameter {
+			st.diameter = d
+		}
+	}
+	st.schedLen = an.CriticalPath + 2*ii + st.diameter + 2
+	st.rg = ar.BuildRGraph(ii)
+	st.occ = rgraph.NewOccupancy(st.rg)
+	st.router = rgraph.NewRouter(st.rg, st.schedLen)
+
+	// Placement order: label 1 when enabled, ASAP otherwise, with
+	// deterministic ID tie-break.
+	st.order = make([]int, g.NumNodes())
+	for i := range st.order {
+		st.order[i] = i
+	}
+	key := func(v int) float64 {
+		if cfg.useOrderLabel {
+			return lbl.Order[v]
+		}
+		return float64(an.ASAP[v])
+	}
+	sort.SliceStable(st.order, func(i, j int) bool {
+		a, b := st.order[i], st.order[j]
+		if key(a) != key(b) {
+			return key(a) < key(b)
+		}
+		return a < b
+	})
+
+	st.partners = make([][]pairRef, g.NumNodes())
+	for p, want := range lbl.SameLevel {
+		st.partners[p.A] = append(st.partners[p.A], pairRef{other: p.B, want: want})
+		st.partners[p.B] = append(st.partners[p.B], pairRef{other: p.A, want: want})
+	}
+	return st
+}
+
+// anneal runs the movement loop; it returns success and the movement count.
+func (st *state) anneal(opts Options, start time.Time) (bool, int) {
+	st.initialPhase = true
+	st.placeAll()
+	st.routePending()
+	st.initialPhase = false
+
+	cur := st.cost()
+	temp := opts.InitTemp
+	moves := 0
+	for moves < opts.MaxMoves {
+		if st.valid() {
+			return true, moves
+		}
+		if opts.TimeLimit > 0 && moves%64 == 0 && time.Since(start) > opts.TimeLimit {
+			return false, moves
+		}
+		snap := st.save()
+		st.movement()
+		moves++
+		st.attempted++
+		next := st.cost()
+		accept := next <= cur
+		if !accept && temp > 1e-9 {
+			accept = st.rng.Float64() < math.Exp((cur-next)/temp)
+		}
+		if accept {
+			cur = next
+			st.accepted++
+		} else {
+			st.restore(snap)
+		}
+		if moves%opts.MovesPerTemp == 0 {
+			temp *= opts.Cool
+		}
+	}
+	return st.valid(), moves
+}
+
+// useLabels reports whether label guidance applies to the current phase.
+func (st *state) useLabels() bool {
+	if st.cfg.partial {
+		return st.initialPhase
+	}
+	return true
+}
+
+// valid reports whether every node is placed and every edge routed.
+func (st *state) valid() bool {
+	for _, p := range st.pe {
+		if p < 0 {
+			return false
+		}
+	}
+	for _, r := range st.routes {
+		if r == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// cost is the annealing objective.
+func (st *state) cost() float64 {
+	c := 0.0
+	for _, p := range st.pe {
+		if p < 0 {
+			c += costUnplaced
+		}
+	}
+	for e, r := range st.routes {
+		if r == nil {
+			ed := st.g.Edges[e]
+			if st.pe[ed.From] >= 0 && st.pe[ed.To] >= 0 {
+				c += costFailedEdge
+			}
+			continue
+		}
+		c += float64(len(r) - 1)
+	}
+	return c
+}
+
+// routingCost counts intermediate resources consumed by all routes.
+func (st *state) routingCost() int {
+	total := 0
+	for _, r := range st.routes {
+		if n := len(r) - 2; n > 0 {
+			total += n
+		}
+	}
+	return total
+}
+
+type snapshot struct {
+	occ    *rgraph.Occupancy
+	pe     []int
+	time   []int
+	routes [][]int
+}
+
+func (st *state) save() snapshot {
+	return snapshot{
+		occ:    st.occ.Clone(),
+		pe:     append([]int(nil), st.pe...),
+		time:   append([]int(nil), st.time...),
+		routes: append([][]int(nil), st.routes...),
+	}
+}
+
+func (st *state) restore(s snapshot) {
+	st.occ = s.occ
+	st.pe = s.pe
+	st.time = s.time
+	st.routes = s.routes
+}
+
+// fuOf returns the FU resource node of a placed DFG node.
+func (st *state) fuOf(v int) int {
+	return st.rg.FUAt(st.pe[v], st.time[v]%st.ii)
+}
+
+// placeAll performs the initial full placement in schedule order.
+func (st *state) placeAll() {
+	for _, v := range st.order {
+		if st.pe[v] < 0 {
+			st.placeNode(v)
+		}
+	}
+}
+
+// unmapNode removes v's op and unroutes every incident edge (Algorithm 1
+// line 2's "unmap one or more DFG nodes").
+func (st *state) unmapNode(v int) {
+	if st.pe[v] < 0 {
+		return
+	}
+	for _, e := range st.g.InEdges(v) {
+		st.unroute(e)
+	}
+	for _, e := range st.g.OutEdges(v) {
+		st.unroute(e)
+	}
+	st.occ.RemoveOp(st.fuOf(v), v)
+	st.pe[v] = -1
+}
+
+func (st *state) unroute(e int) {
+	if st.routes[e] == nil {
+		return
+	}
+	sig := rgraph.Signal(st.g.Edges[e].From)
+	rgraph.Uncommit(st.occ, sig, st.routes[e])
+	st.routes[e] = nil
+}
+
+// slot is one placement candidate.
+type slot struct {
+	pe, t int
+	cost  float64
+}
+
+// timeBounds computes the candidate window for v from its placed neighbors.
+func (st *state) timeBounds(v int) (lb, ub int) {
+	lb = st.an.ASAP[v]
+	ub = st.schedLen - 1
+	for _, p := range st.g.Pred(v) {
+		if st.pe[p] >= 0 && st.time[p]+1 > lb {
+			lb = st.time[p] + 1
+		}
+	}
+	for _, s := range st.g.Succ(v) {
+		if st.pe[s] >= 0 && st.time[s]-1 < ub {
+			ub = st.time[s] - 1
+		}
+	}
+	if ub < lb {
+		ub = st.schedLen - 1 // inconsistent neighbors; edges will fail and anneal away
+	}
+	// Bound the window so candidate enumeration stays cheap on big arrays.
+	if w := lb + st.ii + st.diameter + 2; ub > w {
+		ub = w
+	}
+	return lb, ub
+}
+
+// candidates enumerates the free, op-compatible slots for v.
+func (st *state) candidates(v int) []slot {
+	lb, ub := st.timeBounds(v)
+	op := st.g.Nodes[v].Op
+	var out []slot
+	for t := lb; t <= ub; t++ {
+		for pe := 0; pe < st.ar.NumPEs(); pe++ {
+			fu := st.rg.FUAt(pe, t%st.ii)
+			n := &st.rg.Nodes[fu]
+			if !n.AllowsOp(uint8(op)) {
+				continue
+			}
+			if !st.occ.CanPlaceOp(fu) {
+				continue
+			}
+			out = append(out, slot{pe: pe, t: t})
+		}
+	}
+	return out
+}
+
+// placeNode places v on a candidate slot. With label guidance the candidate
+// cost combines labels 2, 3 and 4 (Algorithm 1 line 6) and the winner is
+// drawn from a normal distribution over the cost ranking (lines 7-8);
+// without guidance the slot is uniform random, as in vanilla SA.
+func (st *state) placeNode(v int) {
+	cands := st.candidates(v)
+	if len(cands) == 0 {
+		return // stays unplaced; the cost function punishes it
+	}
+	var pick slot
+	if st.useLabels() && st.cfg.usePlacementLabels {
+		for i := range cands {
+			cands[i].cost = st.slotCost(v, cands[i])
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].cost != cands[j].cost {
+				return cands[i].cost < cands[j].cost
+			}
+			if cands[i].t != cands[j].t {
+				return cands[i].t < cands[j].t
+			}
+			return cands[i].pe < cands[j].pe
+		})
+		sigma := math.Max(1, st.alphaSigma())
+		idx := int(math.Abs(st.rng.NormFloat64()) * sigma)
+		if idx >= len(cands) {
+			idx = len(cands) - 1
+		}
+		pick = cands[idx]
+	} else {
+		pick = cands[st.rng.Intn(len(cands))]
+	}
+	fu := st.rg.FUAt(pick.pe, pick.t%st.ii)
+	if !st.occ.PlaceOp(fu, v) {
+		return
+	}
+	st.pe[v] = pick.pe
+	st.time[v] = pick.t
+}
+
+// alphaSigma evaluates σ = α·T − Acc from Algorithm 1 line 7: a low
+// acceptance rate widens the distribution, randomizing PE selection to escape
+// an invalid mapping.
+func (st *state) alphaSigma() float64 {
+	return st.alpha*float64(st.attempted) - float64(st.accepted)
+}
+
+// slotCost is the label-aware placement cost: the sum of differences between
+// the distances a candidate implies and the distances the labels expect.
+func (st *state) slotCost(v int, s slot) float64 {
+	c := 0.0
+	seen := false
+	for _, e := range st.g.InEdges(v) {
+		u := st.g.Edges[e].From
+		if st.pe[u] < 0 {
+			continue
+		}
+		seen = true
+		dt := s.t - st.time[u]
+		sd := st.ar.SpatialDistance(s.pe, st.pe[u])
+		if dt < 1 {
+			c += costInfeasible
+		} else {
+			c += math.Abs(float64(dt) - st.lbl.Temporal[e])
+			if sd > dt {
+				c += costTooFar
+			}
+		}
+		c += math.Abs(float64(sd) - st.lbl.Spatial[e])
+	}
+	for _, e := range st.g.OutEdges(v) {
+		w := st.g.Edges[e].To
+		if st.pe[w] < 0 {
+			continue
+		}
+		seen = true
+		dt := st.time[w] - s.t
+		sd := st.ar.SpatialDistance(s.pe, st.pe[w])
+		if dt < 1 {
+			c += costInfeasible
+		} else {
+			c += math.Abs(float64(dt) - st.lbl.Temporal[e])
+			if sd > dt {
+				c += costTooFar
+			}
+		}
+		c += math.Abs(float64(sd) - st.lbl.Spatial[e])
+	}
+	for _, pr := range st.partners[v] {
+		if st.pe[pr.other] < 0 {
+			continue
+		}
+		c += math.Abs(float64(st.ar.SpatialDistance(s.pe, st.pe[pr.other])) - pr.want)
+	}
+	if !seen {
+		// Anchor isolated placements near the schedule time label 1 expects.
+		c += 0.3 * math.Abs(float64(s.t)-st.lbl.Order[v])
+	}
+	return c
+}
+
+// routePending routes every edge whose endpoints are placed, in routing
+// priority order (Algorithm 1 lines 9-11: highest temporal-mapping-distance
+// first) when enabled.
+func (st *state) routePending() {
+	var pending []int
+	for e := range st.routes {
+		if st.routes[e] != nil {
+			continue
+		}
+		ed := st.g.Edges[e]
+		if st.pe[ed.From] >= 0 && st.pe[ed.To] >= 0 {
+			pending = append(pending, e)
+		}
+	}
+	if st.cfg.useRoutingPriority && st.useLabels() {
+		sort.SliceStable(pending, func(i, j int) bool {
+			return st.lbl.Temporal[pending[i]] > st.lbl.Temporal[pending[j]]
+		})
+	}
+	for _, e := range pending {
+		st.routeEdge(e)
+	}
+}
+
+// routeEdge routes one edge with Dijkstra (Algorithm 1 line 11); the hop
+// count is fixed by the endpoints' schedule times.
+func (st *state) routeEdge(e int) bool {
+	ed := st.g.Edges[e]
+	hops := st.time[ed.To] - st.time[ed.From]
+	if hops < 1 {
+		return false
+	}
+	sig := rgraph.Signal(ed.From)
+	path, _, ok := st.router.Route(st.occ, sig, st.fuOf(ed.From), st.fuOf(ed.To), hops)
+	if !ok {
+		return false
+	}
+	rgraph.Commit(st.occ, sig, path)
+	st.routes[e] = path
+	return true
+}
+
+// movement is one unmap/re-place/re-route step.
+func (st *state) movement() {
+	victims := st.pickVictims()
+	for _, v := range victims {
+		st.unmapNode(v)
+	}
+	// Re-place in global schedule order.
+	idx := make(map[int]int, len(st.order))
+	for i, v := range st.order {
+		idx[v] = i
+	}
+	sort.Slice(victims, func(i, j int) bool { return idx[victims[i]] < idx[victims[j]] })
+	for _, v := range victims {
+		if st.pe[v] < 0 {
+			st.placeNode(v)
+		}
+	}
+	st.routePending()
+}
+
+// pickVictims chooses the nodes to unmap: problem nodes (unplaced, or
+// endpoints of failed/infeasible edges) first, plus an occasional random
+// placed node to shake the mapping out of local minima.
+func (st *state) pickVictims() []int {
+	problem := map[int]bool{}
+	for v, p := range st.pe {
+		if p < 0 {
+			problem[v] = true
+		}
+	}
+	for e, r := range st.routes {
+		if r != nil {
+			continue
+		}
+		ed := st.g.Edges[e]
+		if st.pe[ed.From] >= 0 && st.pe[ed.To] >= 0 {
+			problem[ed.From] = true
+			problem[ed.To] = true
+		}
+	}
+	var pool []int
+	for v := range problem {
+		pool = append(pool, v)
+	}
+	sort.Ints(pool)
+
+	var victims []int
+	if len(pool) > 0 {
+		// One or two problem nodes.
+		victims = append(victims, pool[st.rng.Intn(len(pool))])
+		if len(pool) > 1 && st.rng.Float64() < 0.5 {
+			w := pool[st.rng.Intn(len(pool))]
+			if w != victims[0] {
+				victims = append(victims, w)
+			}
+		}
+	}
+	// Occasionally also displace a random placed node to free resources.
+	if len(victims) == 0 || st.rng.Float64() < 0.35 {
+		v := st.rng.Intn(st.g.NumNodes())
+		dup := false
+		for _, w := range victims {
+			if w == v {
+				dup = true
+			}
+		}
+		if !dup && st.pe[v] >= 0 {
+			victims = append(victims, v)
+		}
+	}
+	return victims
+}

@@ -1,0 +1,68 @@
+package mapper
+
+import (
+	"fmt"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/rgraph"
+)
+
+// Verify independently checks that a successful Result is a legal mapping of
+// g onto ar: every node sits on an op-compatible FU, no two nodes share a
+// modulo FU slot, every edge's schedule times are causally ordered, and the
+// spatial displacement of each edge is achievable within its cycle budget.
+// It rebuilds occupancy from scratch, so it catches bookkeeping bugs in the
+// annealer rather than trusting its internal state.
+func Verify(ar arch.Arch, g *dfg.Graph, r *Result) error {
+	if !r.OK {
+		return fmt.Errorf("mapper: result not OK")
+	}
+	if r.II < 1 || r.II > ar.MaxII() {
+		return fmt.Errorf("mapper: II %d out of range", r.II)
+	}
+	if len(r.PE) != g.NumNodes() || len(r.Time) != g.NumNodes() {
+		return fmt.Errorf("mapper: placement arrays sized %d/%d, want %d",
+			len(r.PE), len(r.Time), g.NumNodes())
+	}
+	if len(r.EdgeHops) != g.NumEdges() {
+		return fmt.Errorf("mapper: EdgeHops sized %d, want %d", len(r.EdgeHops), g.NumEdges())
+	}
+
+	rg := ar.BuildRGraph(r.II)
+	occ := rgraph.NewOccupancy(rg)
+	for v := range g.Nodes {
+		pe, tm := r.PE[v], r.Time[v]
+		if pe < 0 || pe >= ar.NumPEs() || tm < 0 {
+			return fmt.Errorf("mapper: node %d has invalid slot (%d,%d)", v, pe, tm)
+		}
+		if !ar.SupportsOp(pe, g.Nodes[v].Op) {
+			return fmt.Errorf("mapper: node %d op %s not supported on PE %d",
+				v, g.Nodes[v].Op, pe)
+		}
+		fu := rg.FUAt(pe, tm%r.II)
+		if !rg.Nodes[fu].AllowsOp(uint8(g.Nodes[v].Op)) {
+			return fmt.Errorf("mapper: node %d op %s not allowed on FU (%d,%d)",
+				v, g.Nodes[v].Op, pe, tm%r.II)
+		}
+		if !occ.PlaceOp(fu, v) {
+			return fmt.Errorf("mapper: modulo FU conflict at (%d,%d)", pe, tm%r.II)
+		}
+	}
+	for i, e := range g.Edges {
+		dt := r.Time[e.To] - r.Time[e.From]
+		if dt < 1 {
+			return fmt.Errorf("mapper: edge %d (%d->%d) violates causality: dt=%d",
+				i, e.From, e.To, dt)
+		}
+		if r.EdgeHops[i] != dt {
+			return fmt.Errorf("mapper: edge %d route length %d != schedule delta %d",
+				i, r.EdgeHops[i], dt)
+		}
+		if sd := ar.SpatialDistance(r.PE[e.From], r.PE[e.To]); sd > dt {
+			return fmt.Errorf("mapper: edge %d spans distance %d in %d cycles",
+				i, sd, dt)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package power
+
+import (
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/kernels"
+)
+
+func TestLowerIIMeansBetterEfficiency(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	p := DefaultParams()
+	r2 := Evaluate(ar, g, 2, 10, p)
+	r4 := Evaluate(ar, g, 4, 10, p)
+	if r2.MOPS <= r4.MOPS {
+		t.Fatal("halving II must increase MOPS")
+	}
+	if r2.MOPSPerWatt <= r4.MOPSPerWatt {
+		t.Fatalf("II 2 efficiency %.1f <= II 4 efficiency %.1f",
+			r2.MOPSPerWatt, r4.MOPSPerWatt)
+	}
+}
+
+func TestBiggerArrayBurnsMoreStaticPower(t *testing.T) {
+	g := kernels.MustByName("gemm")
+	p := DefaultParams()
+	small := Evaluate(arch.NewBaseline3x3(), g, 2, 10, p)
+	big := Evaluate(arch.NewBaseline8x8(), g, 2, 10, p)
+	if big.PowerWatts <= small.PowerWatts {
+		t.Fatal("8x8 must draw more power than 3x3 at equal activity")
+	}
+}
+
+func TestRoutingCostCostsPower(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("syr2k")
+	p := DefaultParams()
+	lean := Evaluate(ar, g, 3, 5, p)
+	heavy := Evaluate(ar, g, 3, 50, p)
+	if heavy.MOPSPerWatt >= lean.MOPSPerWatt {
+		t.Fatal("heavier routing must reduce efficiency")
+	}
+}
+
+func TestZeroParamsFallBack(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	r := Evaluate(ar, g, 2, 4, ModelParams{})
+	if r.MOPSPerWatt <= 0 || r.PowerWatts <= 0 {
+		t.Fatalf("fallback params produced %+v", r)
+	}
+}

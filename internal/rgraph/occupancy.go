@@ -1,0 +1,139 @@
+package rgraph
+
+// Signal identifies a value travelling through the resource graph. The mapper
+// uses the producing DFG node's ID, so all routes fanning out from one
+// producer share resources for free — a standard routing-resource-graph rule
+// without which dense DFGs (syr2k and friends) become unmappable.
+type Signal int32
+
+// opSignal marks an FU node occupied by a placed operation rather than a
+// routed value. Each placed op gets a distinct negative signal so that a
+// route may *end* at its consumer but never pass through another op.
+func opSignal(dfgNode int) Signal { return Signal(-1 - dfgNode) }
+
+// Occupancy tracks which signals occupy each resource node. It supports the
+// capacity rule (at most Cap distinct signals per node), fan-out sharing
+// (re-entering a node already carrying the same signal is free), and
+// reference-counted release so overlapping routes unwind correctly.
+type Occupancy struct {
+	g *Graph
+	// occ[node] lists (signal, refcount) pairs; nodes carry few signals so a
+	// small slice beats a map.
+	occ [][]sigRef
+}
+
+type sigRef struct {
+	sig Signal
+	ref int
+}
+
+// NewOccupancy creates an empty occupancy table for g.
+func NewOccupancy(g *Graph) *Occupancy {
+	return &Occupancy{g: g, occ: make([][]sigRef, g.NumNodes())}
+}
+
+// Clone returns a deep copy (used by movement rollback in SA).
+func (o *Occupancy) Clone() *Occupancy {
+	c := &Occupancy{g: o.g, occ: make([][]sigRef, len(o.occ))}
+	for i, s := range o.occ {
+		if len(s) > 0 {
+			c.occ[i] = append([]sigRef(nil), s...)
+		}
+	}
+	return c
+}
+
+// Reset clears all occupancy.
+func (o *Occupancy) Reset() {
+	for i := range o.occ {
+		o.occ[i] = o.occ[i][:0]
+	}
+}
+
+// distinct returns the number of distinct signals at node n.
+func (o *Occupancy) distinct(n int) int { return len(o.occ[n]) }
+
+// CanEnter reports whether signal sig may use node n: either n already
+// carries sig, or n has spare capacity.
+func (o *Occupancy) CanEnter(n int, sig Signal) bool {
+	for _, r := range o.occ[n] {
+		if r.sig == sig {
+			return true
+		}
+	}
+	return o.distinct(n) < o.g.Nodes[n].Cap
+}
+
+// Carries reports whether node n currently carries signal sig.
+func (o *Occupancy) Carries(n int, sig Signal) bool {
+	for _, r := range o.occ[n] {
+		if r.sig == sig {
+			return true
+		}
+	}
+	return false
+}
+
+// Use records one use of sig at node n. It panics if the capacity rule would
+// be violated; callers must check CanEnter first.
+func (o *Occupancy) Use(n int, sig Signal) {
+	for i := range o.occ[n] {
+		if o.occ[n][i].sig == sig {
+			o.occ[n][i].ref++
+			return
+		}
+	}
+	if o.distinct(n) >= o.g.Nodes[n].Cap {
+		panic("rgraph: capacity violated")
+	}
+	o.occ[n] = append(o.occ[n], sigRef{sig: sig, ref: 1})
+}
+
+// Release undoes one Use of sig at node n.
+func (o *Occupancy) Release(n int, sig Signal) {
+	for i := range o.occ[n] {
+		if o.occ[n][i].sig == sig {
+			o.occ[n][i].ref--
+			if o.occ[n][i].ref == 0 {
+				last := len(o.occ[n]) - 1
+				o.occ[n][i] = o.occ[n][last]
+				o.occ[n] = o.occ[n][:last]
+			}
+			return
+		}
+	}
+	panic("rgraph: release of absent signal")
+}
+
+// PlaceOp occupies FU node n with the operation of DFG node v. It reports
+// false when the node is already occupied by a different signal.
+func (o *Occupancy) PlaceOp(n, v int) bool {
+	sig := opSignal(v)
+	if !o.CanEnter(n, sig) {
+		return false
+	}
+	o.Use(n, sig)
+	return true
+}
+
+// RemoveOp releases the operation of DFG node v from FU node n.
+func (o *Occupancy) RemoveOp(n, v int) { o.Release(n, opSignal(v)) }
+
+// OpOccupied reports whether node n hosts a placed operation.
+func (o *Occupancy) OpOccupied(n int) bool {
+	for _, r := range o.occ[n] {
+		if r.sig < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CanPlaceOp reports whether an operation could be placed on node n, i.e.
+// the node still has spare capacity for a new distinct signal.
+func (o *Occupancy) CanPlaceOp(n int) bool {
+	return o.distinct(n) < o.g.Nodes[n].Cap
+}
+
+// UseCount returns the total distinct signals at n (for congestion metrics).
+func (o *Occupancy) UseCount(n int) int { return o.distinct(n) }

@@ -1,0 +1,219 @@
+package rgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// lineGraph builds a 1×n CGRA-like resource graph at II=2 by hand: per
+// (pe, cycle) one FU (cap 1, compute+route) and one register bank (cap 2).
+func lineGraph(n, ii int) *Graph {
+	g := NewGraph(ii)
+	fu := make([][]int, n)
+	reg := make([][]int, n)
+	for pe := 0; pe < n; pe++ {
+		fu[pe] = make([]int, ii)
+		reg[pe] = make([]int, ii)
+		for t := 0; t < ii; t++ {
+			fu[pe][t] = g.AddNode(Node{
+				Kind: KindFU, PE: pe, Cycle: t, Cap: 1,
+				ComputeOK: true, RouteOK: true, OpsMask: ^uint32(0),
+			})
+			reg[pe][t] = g.AddNode(Node{
+				Kind: KindReg, PE: pe, Cycle: t, Cap: 2, RouteOK: true,
+			})
+		}
+	}
+	for pe := 0; pe < n; pe++ {
+		for t := 0; t < ii; t++ {
+			nt := (t + 1) % ii
+			g.AddEdge(fu[pe][t], fu[pe][nt])
+			g.AddEdge(fu[pe][t], reg[pe][nt])
+			g.AddEdge(reg[pe][t], reg[pe][nt])
+			g.AddEdge(reg[pe][t], fu[pe][nt])
+			if pe > 0 {
+				g.AddEdge(fu[pe][t], fu[pe-1][nt])
+			}
+			if pe < n-1 {
+				g.AddEdge(fu[pe][t], fu[pe+1][nt])
+			}
+		}
+	}
+	return g
+}
+
+func TestGraphIndexing(t *testing.T) {
+	g := lineGraph(3, 2)
+	if g.NumNodes() != 12 {
+		t.Fatalf("nodes = %d, want 12", g.NumNodes())
+	}
+	fu := g.FUAt(1, 1)
+	n := g.Nodes[fu]
+	if n.Kind != KindFU || n.PE != 1 || n.Cycle != 1 {
+		t.Fatalf("FUAt returned %+v", n)
+	}
+	if !g.HasFUAt(2, 0) || g.HasFUAt(3, 0) {
+		t.Fatal("HasFUAt wrong")
+	}
+	if len(g.FUs()) != 6 {
+		t.Fatalf("FU count = %d, want 6", len(g.FUs()))
+	}
+	// In/Out adjacency must be symmetric views of the same edges.
+	for id := 0; id < g.NumNodes(); id++ {
+		for _, ob := range g.Out(id) {
+			found := false
+			for _, ib := range g.In(int(ob)) {
+				if int(ib) == id {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d missing from In()", id, ob)
+			}
+		}
+	}
+}
+
+func TestNodeAllowsOp(t *testing.T) {
+	n := Node{ComputeOK: true, OpsMask: 1 << 3}
+	if !n.AllowsOp(3) || n.AllowsOp(4) {
+		t.Fatal("AllowsOp mask broken")
+	}
+	n.ComputeOK = false
+	if n.AllowsOp(3) {
+		t.Fatal("non-compute node must not allow ops")
+	}
+}
+
+func TestRouteSharesFanoutRefcounts(t *testing.T) {
+	g := lineGraph(4, 2)
+	occ := NewOccupancy(g)
+	r := NewRouter(g, 10)
+	sig := Signal(7)
+	src := g.FUAt(0, 0)
+	// Two consumers both 2 hops away through the same first intermediate.
+	d1 := g.FUAt(2, 0)
+	d2 := g.FUAt(2, 0)
+	p1, _, ok := r.Route(occ, sig, src, d1, 2)
+	if !ok {
+		t.Fatal("route 1 failed")
+	}
+	Commit(occ, sig, p1)
+	p2, c2, ok := r.Route(occ, sig, src, d2, 2)
+	if !ok {
+		t.Fatal("route 2 failed")
+	}
+	if c2 != 0 {
+		t.Fatalf("identical fanout route should be free, cost %d", c2)
+	}
+	Commit(occ, sig, p2)
+	Uncommit(occ, sig, p1)
+	// p2's resources must survive p1's release (refcounting).
+	for i := 1; i < len(p2)-1; i++ {
+		if !occ.Carries(p2[i], sig) {
+			t.Fatal("shared resource lost after partial uncommit")
+		}
+	}
+	Uncommit(occ, sig, p2)
+	for n := 0; n < g.NumNodes(); n++ {
+		if occ.UseCount(n) != 0 {
+			t.Fatalf("leak at node %d", n)
+		}
+	}
+}
+
+func TestRouteWaitsInRegisters(t *testing.T) {
+	g := lineGraph(2, 2)
+	occ := NewOccupancy(g)
+	r := NewRouter(g, 10)
+	// 1 spatial hop but 5 cycles: must wait 4 cycles in registers/FUs.
+	src := g.FUAt(0, 0)
+	dst := g.FUAt(1, 1) // (0+5)%2 = 1
+	path, _, ok := r.Route(occ, Signal(1), src, dst, 5)
+	if !ok {
+		t.Fatal("waiting route failed")
+	}
+	if len(path) != 6 {
+		t.Fatalf("path len = %d, want 6", len(path))
+	}
+}
+
+func TestRouterHopBound(t *testing.T) {
+	g := lineGraph(2, 1)
+	r := NewRouter(g, 3)
+	occ := NewOccupancy(g)
+	if _, _, ok := r.Route(occ, 1, g.FUAt(0, 0), g.FUAt(1, 0), 4); ok {
+		t.Fatal("route beyond MaxHops must fail")
+	}
+	if _, _, ok := r.Route(occ, 1, g.FUAt(0, 0), g.FUAt(1, 0), 0); ok {
+		t.Fatal("zero-hop route must fail")
+	}
+}
+
+func TestShortestHops(t *testing.T) {
+	g := lineGraph(5, 1)
+	occ := NewOccupancy(g)
+	r := NewRouter(g, 16)
+	got := r.ShortestHops(occ, 1, g.FUAt(0, 0), g.FUAt(4, 0))
+	if got != 4 {
+		t.Fatalf("shortest hops = %d, want 4", got)
+	}
+	// Block the only spatial corridor at PE 2 (both FU and regs at cap).
+	occ.Use(g.FUAt(2, 0), 99)
+	occ.Use(g.FUAt(2, 0)+1, 98) // reg node follows its FU in creation order
+	occ.Use(g.FUAt(2, 0)+1, 97)
+	if got := r.ShortestHops(occ, 1, g.FUAt(0, 0), g.FUAt(4, 0)); got != -1 {
+		t.Fatalf("blocked corridor should be unreachable, got %d", got)
+	}
+}
+
+func TestOccupancyProperties(t *testing.T) {
+	g := lineGraph(3, 2)
+	f := func(ops []uint8) bool {
+		occ := NewOccupancy(g)
+		// Any sequence of Use/Release pairs must leave the table empty.
+		var used [][2]int // (node, sig)
+		for _, op := range ops {
+			node := int(op) % g.NumNodes()
+			sig := Signal(int(op)%3 + 1)
+			if occ.CanEnter(node, sig) {
+				occ.Use(node, sig)
+				used = append(used, [2]int{node, int(sig)})
+			}
+		}
+		for i := len(used) - 1; i >= 0; i-- {
+			occ.Release(used[i][0], Signal(used[i][1]))
+		}
+		for n := 0; n < g.NumNodes(); n++ {
+			if occ.UseCount(n) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceOpConflicts(t *testing.T) {
+	g := lineGraph(2, 1)
+	occ := NewOccupancy(g)
+	fu := g.FUAt(0, 0)
+	if !occ.PlaceOp(fu, 1) {
+		t.Fatal("first op must place")
+	}
+	if occ.PlaceOp(fu, 2) {
+		t.Fatal("second op on cap-1 FU must fail")
+	}
+	if !occ.OpOccupied(fu) {
+		t.Fatal("OpOccupied must report the op")
+	}
+	occ.RemoveOp(fu, 1)
+	if occ.OpOccupied(fu) {
+		t.Fatal("op not removed")
+	}
+	if !occ.PlaceOp(fu, 2) {
+		t.Fatal("slot must be reusable after removal")
+	}
+}

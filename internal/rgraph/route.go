@@ -1,0 +1,188 @@
+package rgraph
+
+import "container/heap"
+
+// The router finds a minimum-cost path of *exactly* K hops from a producer FU
+// to a consumer FU. Exactness matters for modulo scheduling correctness: an
+// operation placed at absolute cycle T occupies resources at T mod II, and an
+// edge u→v must deliver its value in exactly T_v − T_u cycles so that every
+// firing of v combines operands of the same loop iteration. "Waiting" is
+// expressed inside the resource graph itself (register self-chains, or a
+// value circling through FUs), so exact-length paths exist whenever the
+// architecture has buffering to spare.
+//
+// Cost model: entering a resource that already carries the same signal is
+// free (fan-out sharing and deliberate loops), entering a fresh resource
+// costs 1. Dijkstra over (resource, hops-done) states.
+
+// Router performs exact-length routes over one resource graph. It reuses
+// scratch buffers across calls; a Router is not safe for concurrent use.
+type Router struct {
+	g *Graph
+
+	// MaxHops bounds route length; states beyond it are not explored.
+	MaxHops int
+
+	dist  []int32
+	stamp []uint32
+	prev  []int32
+	epoch uint32
+	pq    routeHeap
+}
+
+// NewRouter creates a router for g with the given hop bound.
+func NewRouter(g *Graph, maxHops int) *Router {
+	if maxHops < 1 {
+		maxHops = 1
+	}
+	size := g.NumNodes() * (maxHops + 1)
+	return &Router{
+		g:       g,
+		MaxHops: maxHops,
+		dist:    make([]int32, size),
+		stamp:   make([]uint32, size),
+		prev:    make([]int32, size),
+	}
+}
+
+type routeItem struct {
+	state int32 // node*(MaxHops+1) + hopsDone
+	cost  int32
+}
+
+type routeHeap []routeItem
+
+func (h routeHeap) Len() int            { return len(h) }
+func (h routeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h routeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *routeHeap) Push(x interface{}) { *h = append(*h, x.(routeItem)) }
+func (h *routeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Route searches for an exact hops-length path from src to dst for signal
+// sig, honouring occ. The returned path has hops+1 node IDs including src and
+// dst; ok is false when no such path exists within the router's hop bound.
+// The path is NOT committed; call Commit to occupy it.
+func (r *Router) Route(occ *Occupancy, sig Signal, src, dst, hops int) (path []int, cost int, ok bool) {
+	if hops < 1 || hops > r.MaxHops {
+		return nil, 0, false
+	}
+	r.epoch++
+	w := r.MaxHops + 1
+	start := int32(src*w + 0)
+	r.dist[start] = 0
+	r.stamp[start] = r.epoch
+	r.prev[start] = -1
+	r.pq = r.pq[:0]
+	r.pq = append(r.pq, routeItem{state: start, cost: 0})
+
+	goal := int32(dst*w + hops)
+	for len(r.pq) > 0 {
+		it := heap.Pop(&r.pq).(routeItem)
+		if r.stamp[it.state] == r.epoch && r.dist[it.state] < it.cost {
+			continue // stale entry
+		}
+		if it.state == goal {
+			return r.buildPath(goal, w), int(it.cost), true
+		}
+		node := int(it.state) / w
+		done := int(it.state) % w
+		if done >= hops {
+			continue
+		}
+		for _, nb := range r.g.Out(node) {
+			next := int(nb)
+			nn := &r.g.Nodes[next]
+			isDst := next == dst && done+1 == hops
+			if !isDst {
+				if !nn.RouteOK || !occ.CanEnter(next, sig) {
+					continue
+				}
+			}
+			step := int32(1)
+			if occ.Carries(next, sig) {
+				step = 0
+			}
+			if isDst {
+				step = 0 // the consumer op already occupies its FU
+			}
+			ns := int32(next*w + done + 1)
+			nc := it.cost + step
+			if r.stamp[ns] == r.epoch && r.dist[ns] <= nc {
+				continue
+			}
+			r.stamp[ns] = r.epoch
+			r.dist[ns] = nc
+			r.prev[ns] = it.state
+			heap.Push(&r.pq, routeItem{state: ns, cost: nc})
+		}
+	}
+	return nil, 0, false
+}
+
+// ShortestHops returns the minimum hop count of any admissible path from src
+// to dst for sig (ignoring the exact-length constraint), or -1 if dst is
+// unreachable within MaxHops. The mapper uses it to pick feasible time slots.
+func (r *Router) ShortestHops(occ *Occupancy, sig Signal, src, dst int) int {
+	r.epoch++
+	w := r.MaxHops + 1
+	// BFS over plain nodes: hop-minimal reachability. Reuse stamp[node*w].
+	type qe struct{ node, d int }
+	queue := []qe{{src, 0}}
+	r.stamp[src*w] = r.epoch
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.d >= r.MaxHops {
+			continue
+		}
+		for _, nb := range r.g.Out(cur.node) {
+			next := int(nb)
+			if next == dst {
+				return cur.d + 1
+			}
+			nn := &r.g.Nodes[next]
+			if !nn.RouteOK || !occ.CanEnter(next, sig) {
+				continue
+			}
+			if r.stamp[next*w] == r.epoch {
+				continue
+			}
+			r.stamp[next*w] = r.epoch
+			queue = append(queue, qe{next, cur.d + 1})
+		}
+	}
+	return -1
+}
+
+func (r *Router) buildPath(goal int32, w int) []int {
+	var rev []int
+	for s := goal; s != -1; s = r.prev[s] {
+		rev = append(rev, int(s)/w)
+	}
+	// rev is dst..src; reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Commit occupies every intermediate node of path (excluding the first and
+// last entries, which are the producer and consumer FUs) with sig.
+func Commit(occ *Occupancy, sig Signal, path []int) {
+	for i := 1; i < len(path)-1; i++ {
+		occ.Use(path[i], sig)
+	}
+}
+
+// Uncommit releases a previously committed path.
+func Uncommit(occ *Occupancy, sig Signal, path []int) {
+	for i := 1; i < len(path)-1; i++ {
+		occ.Release(path[i], sig)
+	}
+}

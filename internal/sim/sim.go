@@ -1,0 +1,379 @@
+// Package sim is a functional, cycle-accurate simulator for mapped kernels.
+// It executes a mapper.Result the way the accelerator would — values leave
+// their producer FU, advance one resource-graph hop per cycle along the
+// committed route, and arrive at the consumer exactly when it fires — for a
+// number of pipelined loop iterations, then checks the observable output
+// (the store stream) against a direct evaluation of the DFG.
+//
+// This is the end-to-end referee for the whole mapping stack: a mapping that
+// passes mapper.Verify has consistent *shapes*; a mapping that passes
+// sim.Run provably computes the right values under modulo-scheduled overlap
+// of iterations, with every resource's capacity respected at every cycle.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/mapper"
+	"github.com/lisa-go/lisa/internal/rgraph"
+)
+
+// Value is the simulated machine word.
+type Value int64
+
+// StoreEvent is one observable output: a store node firing.
+type StoreEvent struct {
+	Node      int
+	Iteration int
+	Cycle     int // absolute cycle of the firing
+	Addr      Value
+	Value     Value
+}
+
+// Trace is the output of a simulation run.
+type Trace struct {
+	Iterations int
+	II         int
+	// Stores is the observable output stream, ordered by (cycle, node).
+	Stores []StoreEvent
+	// TotalCycles is the cycle at which the last event of the last
+	// iteration completes.
+	TotalCycles int
+	// PeakResourceUse is the maximum number of distinct signals observed on
+	// any resource in any cycle (must be within capacity).
+	PeakResourceUse int
+}
+
+// memRead models the scratchpad: a deterministic value per address, disjoint
+// from anything the kernel computes (loads never alias stores — the kernels'
+// accumulators are modelled as read-modify-write of independent addresses
+// per iteration, which is how a software pipeline with II-spaced iterations
+// behaves for the PolyBench access patterns).
+func memRead(addr Value) Value {
+	x := uint64(addr) * 0x9e3779b97f4a7c15
+	x ^= x >> 33
+	return Value(x&0xffff) - 0x8000
+}
+
+// constValue gives every constant node a distinct deterministic value.
+func constValue(node int, it int) Value {
+	// Loop-invariant: independent of the iteration.
+	_ = it
+	return Value(3 + 7*node)
+}
+
+// fold mixes an arbitrary operand list deterministically; it gives ops with
+// nonstandard arity (random training DFGs attach any number of inputs) a
+// well-defined meaning so the scheduled and reference executions can still be
+// compared value-for-value.
+func fold(node int, args []Value) Value {
+	acc := Value(0x5bd1e995) ^ Value(node)
+	for _, a := range args {
+		acc = acc*31 + a
+	}
+	return acc
+}
+
+// wantArity returns the canonical operand count of an op, or -1 for ops that
+// accept any operand list (nop).
+func wantArity(op dfg.OpKind) int {
+	switch op {
+	case dfg.OpConst:
+		return 0
+	case dfg.OpLoad:
+		return 1
+	case dfg.OpSelect:
+		return 3
+	case dfg.OpNop:
+		return -1
+	default:
+		return 2
+	}
+}
+
+// evalOp computes one operation. Standard arities get exact semantics;
+// anything else folds deterministically.
+func evalOp(op dfg.OpKind, node, it int, args []Value) (Value, error) {
+	bin := func() (a, b Value, err error) {
+		if len(args) != 2 {
+			return 0, 0, nil
+		}
+		return args[0], args[1], nil
+	}
+	if wantArity(op) >= 0 && len(args) != wantArity(op) {
+		return fold(node, args), nil
+	}
+	switch op {
+	case dfg.OpConst:
+		return constValue(node, it), nil
+	case dfg.OpLoad:
+		// Different iterations stream different elements.
+		return memRead(args[0] + Value(it)), nil
+	case dfg.OpStore:
+		return args[1], nil
+	case dfg.OpAdd:
+		a, b, err := bin()
+		return a + b, err
+	case dfg.OpSub:
+		a, b, err := bin()
+		return a - b, err
+	case dfg.OpMul:
+		a, b, err := bin()
+		return a * b, err
+	case dfg.OpDiv:
+		a, b, err := bin()
+		if b == 0 {
+			return 0, err
+		}
+		return a / b, err
+	case dfg.OpShl:
+		a, b, err := bin()
+		return a << (uint(b) & 15), err
+	case dfg.OpShr:
+		a, b, err := bin()
+		return a >> (uint(b) & 15), err
+	case dfg.OpAnd:
+		a, b, err := bin()
+		return a & b, err
+	case dfg.OpOr:
+		a, b, err := bin()
+		return a | b, err
+	case dfg.OpXor:
+		a, b, err := bin()
+		return a ^ b, err
+	case dfg.OpCmp:
+		a, b, err := bin()
+		if a > b {
+			return 1, err
+		}
+		return 0, err
+	case dfg.OpSelect:
+		if args[0] != 0 {
+			return args[1], nil
+		}
+		return args[2], nil
+	default:
+		return fold(node, args), nil
+	}
+}
+
+// Reference evaluates the DFG directly (no schedule, no resources) for the
+// given iterations and returns the store stream in deterministic node order
+// per iteration. This is the golden model sim.Run compares against.
+func Reference(g *dfg.Graph, iterations int) ([]StoreEvent, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	var out []StoreEvent
+	for it := 0; it < iterations; it++ {
+		vals := make([]Value, g.NumNodes())
+		for _, v := range topo {
+			args := make([]Value, 0, len(g.InEdges(v)))
+			for _, e := range g.InEdges(v) {
+				args = append(args, vals[g.Edges[e].From])
+			}
+			val, err := evalOp(g.Nodes[v].Op, v, it, args)
+			if err != nil {
+				return nil, fmt.Errorf("reference: node %s: %w", g.Nodes[v].Name, err)
+			}
+			vals[v] = val
+			if g.Nodes[v].Op == dfg.OpStore {
+				out = append(out, StoreEvent{
+					Node: v, Iteration: it, Addr: args[0], Value: val,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// occupant records one signal observed on a resource in one absolute cycle.
+type occupant struct {
+	res, cycle int
+}
+
+// Run simulates a successful mapping for the given number of pipelined
+// iterations. It validates route structure hop by hop, enforces per-cycle
+// resource capacities under full iteration overlap, checks operand arrival
+// times, and compares the store stream against Reference.
+func Run(ar arch.Arch, g *dfg.Graph, r *mapper.Result, iterations int) (*Trace, error) {
+	if !r.OK {
+		return nil, fmt.Errorf("sim: result not OK")
+	}
+	if iterations < 1 {
+		return nil, fmt.Errorf("sim: iterations must be >= 1")
+	}
+	if err := mapper.Verify(ar, g, r); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if len(r.Routes) != g.NumEdges() {
+		return nil, fmt.Errorf("sim: result carries %d routes, want %d", len(r.Routes), g.NumEdges())
+	}
+	rg := ar.BuildRGraph(r.II)
+
+	// Structural route validation (independent of iterations).
+	for i, e := range g.Edges {
+		path := r.Routes[i]
+		if len(path) < 2 {
+			return nil, fmt.Errorf("sim: edge %d has no route", i)
+		}
+		if path[0] != rg.FUAt(r.PE[e.From], r.Time[e.From]%r.II) {
+			return nil, fmt.Errorf("sim: edge %d route does not start at the producer", i)
+		}
+		if path[len(path)-1] != rg.FUAt(r.PE[e.To], r.Time[e.To]%r.II) {
+			return nil, fmt.Errorf("sim: edge %d route does not end at the consumer", i)
+		}
+		for j := 0; j+1 < len(path); j++ {
+			if !hasRGEdge(rg, path[j], path[j+1]) {
+				return nil, fmt.Errorf("sim: edge %d hop %d (%d->%d) is not a link",
+					i, j, path[j], path[j+1])
+			}
+			if j > 0 && !rg.Nodes[path[j]].RouteOK {
+				return nil, fmt.Errorf("sim: edge %d uses non-routing resource %d", i, path[j])
+			}
+		}
+	}
+
+	// Cycle-accurate occupancy under full overlap. Signals are producer DFG
+	// nodes; ops are negative pseudo-signals.
+	occ := map[occupant]map[int]bool{} // (resource, absolute cycle) -> signals
+	note := func(res, cycle, sig int) {
+		key := occupant{res, cycle}
+		if occ[key] == nil {
+			occ[key] = map[int]bool{}
+		}
+		occ[key][sig] = true
+	}
+	lastCycle := 0
+	for it := 0; it < iterations; it++ {
+		base := it * r.II
+		for v := range g.Nodes {
+			c := base + r.Time[v]
+			note(rg.FUAt(r.PE[v], r.Time[v]%r.II), c, -1-v)
+			if c > lastCycle {
+				lastCycle = c
+			}
+		}
+		for i, e := range g.Edges {
+			for j := 1; j < len(r.Routes[i])-1; j++ {
+				note(r.Routes[i][j], base+r.Time[e.From]+j, e.From)
+			}
+		}
+	}
+	peak := 0
+	for key, sigs := range occ {
+		n := len(sigs)
+		if n > peak {
+			peak = n
+		}
+		capn := rg.Nodes[key.res].Cap
+		if n > capn {
+			return nil, fmt.Errorf("sim: resource %d over capacity at cycle %d (%d > %d)",
+				key.res, key.cycle, n, capn)
+		}
+		// A firing op excludes any routed signal on the same FU that cycle.
+		hasOp, hasSig := false, false
+		for s := range sigs {
+			if s < 0 {
+				hasOp = true
+			} else {
+				hasSig = true
+			}
+		}
+		if hasOp && hasSig {
+			return nil, fmt.Errorf("sim: resource %d both computes and routes at cycle %d",
+				key.res, key.cycle)
+		}
+	}
+
+	// Dataflow execution: values ride the routes; operands must arrive
+	// exactly at the consumer's firing cycle with the same iteration index.
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	trace := &Trace{Iterations: iterations, II: r.II, PeakResourceUse: peak}
+	for it := 0; it < iterations; it++ {
+		base := it * r.II
+		vals := make([]Value, g.NumNodes())
+		for _, v := range topo {
+			fire := base + r.Time[v]
+			args := make([]Value, 0, len(g.InEdges(v)))
+			for _, ei := range g.InEdges(v) {
+				e := g.Edges[ei]
+				depart := base + r.Time[e.From]
+				arrive := depart + len(r.Routes[ei]) - 1
+				if arrive != fire {
+					return nil, fmt.Errorf(
+						"sim: edge %d operand of %s arrives at %d but consumer fires at %d",
+						ei, g.Nodes[v].Name, arrive, fire)
+				}
+				args = append(args, vals[e.From])
+			}
+			val, err := evalOp(g.Nodes[v].Op, v, it, args)
+			if err != nil {
+				return nil, fmt.Errorf("sim: node %s: %w", g.Nodes[v].Name, err)
+			}
+			vals[v] = val
+			if g.Nodes[v].Op == dfg.OpStore {
+				trace.Stores = append(trace.Stores, StoreEvent{
+					Node: v, Iteration: it, Cycle: fire, Addr: args[0], Value: val,
+				})
+			}
+		}
+	}
+	trace.TotalCycles = lastCycle + 1
+
+	// Compare the observable output against the golden model.
+	ref, err := Reference(g, iterations)
+	if err != nil {
+		return nil, err
+	}
+	if err := compareStores(trace.Stores, ref); err != nil {
+		return nil, err
+	}
+	sort.Slice(trace.Stores, func(i, j int) bool {
+		if trace.Stores[i].Cycle != trace.Stores[j].Cycle {
+			return trace.Stores[i].Cycle < trace.Stores[j].Cycle
+		}
+		return trace.Stores[i].Node < trace.Stores[j].Node
+	})
+	return trace, nil
+}
+
+// compareStores matches scheduled stores with reference stores by (node,
+// iteration) and compares address and value.
+func compareStores(got, want []StoreEvent) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("sim: %d store events, reference has %d", len(got), len(want))
+	}
+	type key struct{ node, it int }
+	index := map[key]StoreEvent{}
+	for _, e := range want {
+		index[key{e.Node, e.Iteration}] = e
+	}
+	for _, e := range got {
+		w, ok := index[key{e.Node, e.Iteration}]
+		if !ok {
+			return fmt.Errorf("sim: unexpected store by node %d iteration %d", e.Node, e.Iteration)
+		}
+		if e.Addr != w.Addr || e.Value != w.Value {
+			return fmt.Errorf("sim: store mismatch node %d it %d: got (%d,%d), want (%d,%d)",
+				e.Node, e.Iteration, e.Addr, e.Value, w.Addr, w.Value)
+		}
+	}
+	return nil
+}
+
+func hasRGEdge(rg *rgraph.Graph, a, b int) bool {
+	for _, nb := range rg.Out(a) {
+		if int(nb) == b {
+			return true
+		}
+	}
+	return false
+}

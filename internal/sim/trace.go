@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/mapper"
+)
+
+// WriteStoresCSV exports the observable output stream as CSV
+// (cycle,iteration,node,addr,value) — the equivalent of the result text
+// files the paper's artifact collects for post-processing.
+func (t *Trace) WriteStoresCSV(w io.Writer, g *dfg.Graph) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cycle", "iteration", "node", "addr", "value"}); err != nil {
+		return err
+	}
+	for _, e := range t.Stores {
+		rec := []string{
+			strconv.Itoa(e.Cycle),
+			strconv.Itoa(e.Iteration),
+			g.Nodes[e.Node].Name,
+			strconv.FormatInt(int64(e.Addr), 10),
+			strconv.FormatInt(int64(e.Value), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ActivityRow is one line of the per-cycle activity trace: what a PE does in
+// a given cycle of the steady-state window.
+type ActivityRow struct {
+	Cycle int // modulo cycle in [0, II)
+	PE    int
+	// Kind is "compute", "route" or "hold" (value parked in registers).
+	Kind string
+	// What names the op or the routed signal's producer.
+	What string
+}
+
+// Activity derives the steady-state activity table from a mapping: every
+// (PE, cycle mod II) slot that computes, forwards or holds a value. This is
+// the textual version of the configuration memory contents the compiler
+// would emit.
+func Activity(ar arch.Arch, g *dfg.Graph, r *mapper.Result) ([]ActivityRow, error) {
+	if !r.OK {
+		return nil, fmt.Errorf("sim: result not OK")
+	}
+	rg := ar.BuildRGraph(r.II)
+	var rows []ActivityRow
+	for v := range g.Nodes {
+		rows = append(rows, ActivityRow{
+			Cycle: r.Time[v] % r.II, PE: r.PE[v],
+			Kind: "compute", What: g.Nodes[v].Name,
+		})
+	}
+	seen := map[[3]int]bool{} // (cycle, pe, producer) dedup for fanout shares
+	for i, e := range g.Edges {
+		path := r.Routes[i]
+		for j := 1; j < len(path)-1; j++ {
+			n := rg.Nodes[path[j]]
+			key := [3]int{n.Cycle, n.PE, e.From}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			kind := "route"
+			if n.Kind == 1 /* KindReg */ {
+				kind = "hold"
+			}
+			rows = append(rows, ActivityRow{
+				Cycle: n.Cycle, PE: n.PE, Kind: kind,
+				What: g.Nodes[e.From].Name,
+			})
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].Cycle != rows[b].Cycle {
+			return rows[a].Cycle < rows[b].Cycle
+		}
+		if rows[a].PE != rows[b].PE {
+			return rows[a].PE < rows[b].PE
+		}
+		return rows[a].What < rows[b].What
+	})
+	return rows, nil
+}
+
+// WriteActivityCSV exports the activity table.
+func WriteActivityCSV(w io.Writer, ar arch.Arch, g *dfg.Graph, r *mapper.Result) error {
+	rows, err := Activity(ar, g, r)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cycle", "pe", "row", "col", "kind", "what"}); err != nil {
+		return err
+	}
+	for _, a := range rows {
+		row, col := ar.Coord(a.PE)
+		rec := []string{
+			strconv.Itoa(a.Cycle), strconv.Itoa(a.PE),
+			strconv.Itoa(row), strconv.Itoa(col), a.Kind, a.What,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

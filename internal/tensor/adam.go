@@ -1,0 +1,62 @@
+package tensor
+
+import "math"
+
+// Adam implements the Adam optimizer with decoupled weight decay (AdamW
+// style), matching the paper's training setup: learning rate 0.001 and
+// weight decay 0.0005 (§VI-B).
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	params []*Tensor
+	m, v   [][]float64
+	step   int
+}
+
+// NewAdam creates an optimizer over the given trainable tensors with the
+// paper's hyper-parameters as defaults.
+func NewAdam(params []*Tensor) *Adam {
+	a := &Adam{
+		LR: 0.001, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: 0.0005,
+		params: params,
+	}
+	for _, p := range params {
+		if !p.RequiresGrad() {
+			panic("tensor: Adam over non-trainable tensor")
+		}
+		a.m = append(a.m, make([]float64, len(p.Data)))
+		a.v = append(a.v, make([]float64, len(p.Data)))
+	}
+	return a
+}
+
+// ZeroGrad clears every parameter gradient.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// Step applies one update from the accumulated gradients.
+func (a *Adam) Step() {
+	a.step++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	for pi, p := range a.params {
+		m, v := a.m[pi], a.v[pi]
+		for i := range p.Data {
+			g := p.Grad[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / b1c
+			vh := v[i] / b2c
+			p.Data[i] -= a.LR * (mh/(math.Sqrt(vh)+a.Eps) + a.WeightDecay*p.Data[i])
+		}
+	}
+}

@@ -1,0 +1,418 @@
+// Package tensor is a minimal reverse-mode automatic-differentiation engine
+// for the LISA GNN models. It provides dense float64 matrices, the handful of
+// differentiable operations the paper's four networks need (matmul, add,
+// ReLU, column concatenation, element-wise ops, neighbor aggregation with
+// mean/max/min pooling, safe reciprocal, mean-squared-error loss), and an
+// Adam optimizer with decoupled weight decay.
+//
+// The engine records a dynamic computation tape: every operation returns a
+// new Tensor holding its inputs and a backward closure. Backward() walks the
+// tape in reverse topological order. There is no broadcasting and no GPU —
+// the networks here have tens of weights, which is the point of the paper's
+// tiny per-label models.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a 2-D matrix node in the autodiff tape.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+	Grad       []float64
+
+	requiresGrad bool
+	prev         []*Tensor
+	back         func()
+}
+
+// New allocates a zero tensor that does not require gradients.
+func New(rows, cols int) *Tensor {
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a constant tensor from row vectors (all rows must have the
+// same length).
+func FromRows(rows [][]float64) *Tensor {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	t := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != t.Cols {
+			panic(fmt.Sprintf("tensor: ragged row %d (%d vs %d)", i, len(r), t.Cols))
+		}
+		copy(t.Data[i*t.Cols:], r)
+	}
+	return t
+}
+
+// Param allocates a trainable tensor with Xavier-style uniform init.
+func Param(rng *rand.Rand, rows, cols int) *Tensor {
+	t := New(rows, cols)
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	t.requiresGrad = true
+	t.Grad = make([]float64, rows*cols)
+	return t
+}
+
+// At returns element (i, j).
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns element (i, j).
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// RequiresGrad reports whether t is trainable.
+func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
+
+// needsTape reports whether t participates in gradient flow.
+func (t *Tensor) needsTape() bool { return t.requiresGrad || t.back != nil }
+
+// result builds an output tensor wired into the tape when any input needs it.
+func result(rows, cols int, inputs []*Tensor, back func(out *Tensor)) *Tensor {
+	out := New(rows, cols)
+	taped := false
+	for _, in := range inputs {
+		if in.needsTape() {
+			taped = true
+			break
+		}
+	}
+	if taped {
+		out.Grad = make([]float64, rows*cols)
+		out.prev = inputs
+		out.back = func() { back(out) }
+	}
+	return out
+}
+
+// ensureGrad lazily allocates the gradient buffer of an intermediate.
+func (t *Tensor) ensureGrad() {
+	if t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+}
+
+// MatMul returns a @ b.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape (%dx%d)@(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := result(a.Rows, b.Cols, []*Tensor{a, b}, func(out *Tensor) {
+		if a.needsTape() {
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				for k := 0; k < a.Cols; k++ {
+					g := 0.0
+					for j := 0; j < b.Cols; j++ {
+						g += out.Grad[i*out.Cols+j] * b.Data[k*b.Cols+j]
+					}
+					a.Grad[i*a.Cols+k] += g
+				}
+			}
+		}
+		if b.needsTape() {
+			b.ensureGrad()
+			for k := 0; k < b.Rows; k++ {
+				for j := 0; j < b.Cols; j++ {
+					g := 0.0
+					for i := 0; i < a.Rows; i++ {
+						g += a.Data[i*a.Cols+k] * out.Grad[i*out.Cols+j]
+					}
+					b.Grad[k*b.Cols+j] += g
+				}
+			}
+		}
+	})
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.Data[i*a.Cols+k]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.Data[k*b.Cols+j]
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b (same shape).
+func Add(a, b *Tensor) *Tensor {
+	checkSameShape("add", a, b)
+	out := result(a.Rows, a.Cols, []*Tensor{a, b}, func(out *Tensor) {
+		if a.needsTape() {
+			a.ensureGrad()
+			for i := range a.Grad {
+				a.Grad[i] += out.Grad[i]
+			}
+		}
+		if b.needsTape() {
+			b.ensureGrad()
+			for i := range b.Grad {
+				b.Grad[i] += out.Grad[i]
+			}
+		}
+	})
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the element-wise product a ⊙ b.
+func Mul(a, b *Tensor) *Tensor {
+	checkSameShape("mul", a, b)
+	out := result(a.Rows, a.Cols, []*Tensor{a, b}, func(out *Tensor) {
+		if a.needsTape() {
+			a.ensureGrad()
+			for i := range a.Grad {
+				a.Grad[i] += out.Grad[i] * b.Data[i]
+			}
+		}
+		if b.needsTape() {
+			b.ensureGrad()
+			for i := range b.Grad {
+				b.Grad[i] += out.Grad[i] * a.Data[i]
+			}
+		}
+	})
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// ReLU returns max(x, 0) element-wise.
+func ReLU(x *Tensor) *Tensor {
+	out := result(x.Rows, x.Cols, []*Tensor{x}, func(out *Tensor) {
+		if x.needsTape() {
+			x.ensureGrad()
+			for i := range x.Grad {
+				if x.Data[i] > 0 {
+					x.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	})
+	for i := range out.Data {
+		if x.Data[i] > 0 {
+			out.Data[i] = x.Data[i]
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates tensors with equal row counts along columns.
+func ConcatCols(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: concat of nothing")
+	}
+	rows := parts[0].Rows
+	cols := 0
+	for _, p := range parts {
+		if p.Rows != rows {
+			panic("tensor: concat row mismatch")
+		}
+		cols += p.Cols
+	}
+	out := result(rows, cols, parts, func(out *Tensor) {
+		off := 0
+		for _, p := range parts {
+			if p.needsTape() {
+				p.ensureGrad()
+				for i := 0; i < rows; i++ {
+					for j := 0; j < p.Cols; j++ {
+						p.Grad[i*p.Cols+j] += out.Grad[i*cols+off+j]
+					}
+				}
+			}
+			off += p.Cols
+		}
+	})
+	off := 0
+	for _, p := range parts {
+		for i := 0; i < rows; i++ {
+			copy(out.Data[i*cols+off:i*cols+off+p.Cols], p.Data[i*p.Cols:(i+1)*p.Cols])
+		}
+		off += p.Cols
+	}
+	return out
+}
+
+// Reciprocal returns 1/(x+eps·sign-guard): entries whose magnitude is below
+// eps yield exactly 1, matching the paper's rule "if the value of a
+// denominator is zero, the corresponding normalization factor is set to one".
+func Reciprocal(x *Tensor, eps float64) *Tensor {
+	out := result(x.Rows, x.Cols, []*Tensor{x}, func(out *Tensor) {
+		if x.needsTape() {
+			x.ensureGrad()
+			for i := range x.Grad {
+				if math.Abs(x.Data[i]) >= eps {
+					d := x.Data[i]
+					x.Grad[i] += out.Grad[i] * (-1 / (d * d))
+				}
+			}
+		}
+	})
+	for i := range out.Data {
+		if math.Abs(x.Data[i]) < eps {
+			out.Data[i] = 1
+		} else {
+			out.Data[i] = 1 / x.Data[i]
+		}
+	}
+	return out
+}
+
+// AggKind selects a neighbor-pooling function.
+type AggKind uint8
+
+// Pooling kinds used by the paper's equations.
+const (
+	AggMean AggKind = iota
+	AggMax
+	AggMin
+	AggSum
+)
+
+// Aggregate pools rows of x over index sets: out[i] = pool(x[j] for j in
+// sets[i]). Empty sets yield zero rows. Gradients flow to the contributing
+// rows (all rows for mean/sum; the arg-extremum row for max/min).
+func Aggregate(x *Tensor, sets [][]int, kind AggKind) *Tensor {
+	n := len(sets)
+	cols := x.Cols
+	// argsel[i*cols+j] records which source row won for max/min.
+	argsel := make([]int32, n*cols)
+	out := result(n, cols, []*Tensor{x}, func(out *Tensor) {
+		if !x.needsTape() {
+			return
+		}
+		x.ensureGrad()
+		for i, set := range sets {
+			if len(set) == 0 {
+				continue
+			}
+			for j := 0; j < cols; j++ {
+				g := out.Grad[i*cols+j]
+				if g == 0 {
+					continue
+				}
+				switch kind {
+				case AggMean:
+					share := g / float64(len(set))
+					for _, s := range set {
+						x.Grad[s*cols+j] += share
+					}
+				case AggSum:
+					for _, s := range set {
+						x.Grad[s*cols+j] += g
+					}
+				default:
+					x.Grad[int(argsel[i*cols+j])*cols+j] += g
+				}
+			}
+		}
+	})
+	for i, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			switch kind {
+			case AggMean, AggSum:
+				sum := 0.0
+				for _, s := range set {
+					sum += x.Data[s*cols+j]
+				}
+				if kind == AggMean {
+					sum /= float64(len(set))
+				}
+				out.Data[i*cols+j] = sum
+			case AggMax:
+				best := set[0]
+				for _, s := range set[1:] {
+					if x.Data[s*cols+j] > x.Data[best*cols+j] {
+						best = s
+					}
+				}
+				out.Data[i*cols+j] = x.Data[best*cols+j]
+				argsel[i*cols+j] = int32(best)
+			case AggMin:
+				best := set[0]
+				for _, s := range set[1:] {
+					if x.Data[s*cols+j] < x.Data[best*cols+j] {
+						best = s
+					}
+				}
+				out.Data[i*cols+j] = x.Data[best*cols+j]
+				argsel[i*cols+j] = int32(best)
+			}
+		}
+	}
+	return out
+}
+
+// MSE returns the scalar mean-squared error between pred and target (target
+// is treated as a constant).
+func MSE(pred, target *Tensor) *Tensor {
+	checkSameShape("mse", pred, target)
+	n := float64(len(pred.Data))
+	out := result(1, 1, []*Tensor{pred}, func(out *Tensor) {
+		if pred.needsTape() {
+			pred.ensureGrad()
+			for i := range pred.Grad {
+				pred.Grad[i] += out.Grad[0] * 2 * (pred.Data[i] - target.Data[i]) / n
+			}
+		}
+	})
+	sum := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		sum += d * d
+	}
+	out.Data[0] = sum / n
+	return out
+}
+
+// Backward runs reverse-mode differentiation from a scalar loss.
+func Backward(loss *Tensor) {
+	if len(loss.Data) != 1 {
+		panic("tensor: Backward needs a scalar loss")
+	}
+	// Topological order over the tape.
+	var order []*Tensor
+	seen := map[*Tensor]bool{}
+	var visit func(t *Tensor)
+	visit = func(t *Tensor) {
+		if seen[t] || !t.needsTape() {
+			return
+		}
+		seen[t] = true
+		for _, p := range t.prev {
+			visit(p)
+		}
+		order = append(order, t)
+	}
+	visit(loss)
+	loss.ensureGrad()
+	loss.Grad[0] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		if order[i].back != nil {
+			order[i].back()
+		}
+	}
+}
+
+func checkSameShape(op string, a, b *Tensor) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape (%dx%d) vs (%dx%d)", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,260 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// numericalGrad estimates d(loss)/d(p[idx]) with central differences.
+func numericalGrad(p *Tensor, idx int, loss func() float64) float64 {
+	const h = 1e-6
+	orig := p.Data[idx]
+	p.Data[idx] = orig + h
+	up := loss()
+	p.Data[idx] = orig - h
+	down := loss()
+	p.Data[idx] = orig
+	return (up - down) / (2 * h)
+}
+
+func approxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestMatMulForward(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulGradientMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := Param(rng, 3, 2)
+	x := FromRows([][]float64{{0.5, -1, 2}, {1, 0.25, -0.5}})
+	target := FromRows([][]float64{{1, 0}, {0, 1}})
+	loss := func() float64 { return MSE(MatMul(x, w), target).Data[0] }
+
+	l := MSE(MatMul(x, w), target)
+	Backward(l)
+	for idx := range w.Data {
+		num := numericalGrad(w, idx, loss)
+		if !approxEqual(w.Grad[idx], num, 1e-4) {
+			t.Errorf("grad[%d] = %v, numerical %v", idx, w.Grad[idx], num)
+		}
+	}
+}
+
+func TestChainedOpsGradient(t *testing.T) {
+	// loss = MSE(relu(x@w1)@w2 + b, target) exercise of the whole tape.
+	rng := rand.New(rand.NewSource(2))
+	w1 := Param(rng, 4, 3)
+	w2 := Param(rng, 3, 1)
+	x := FromRows([][]float64{{1, -0.5, 0.25, 2}, {-1, 1, 0.5, 0.1}, {0.3, 0.7, -0.9, 1.1}})
+	target := FromRows([][]float64{{1}, {-1}, {0.5}})
+	forward := func() *Tensor { return MSE(MatMul(ReLU(MatMul(x, w1)), w2), target) }
+	Backward(forward())
+	for _, p := range []*Tensor{w1, w2} {
+		for idx := range p.Data {
+			num := numericalGrad(p, idx, func() float64 { return forward().Data[0] })
+			if !approxEqual(p.Grad[idx], num, 1e-4) {
+				t.Fatalf("param grad mismatch: %v vs %v", p.Grad[idx], num)
+			}
+		}
+	}
+}
+
+func TestAggregateForward(t *testing.T) {
+	x := FromRows([][]float64{{1, 10}, {2, 20}, {3, 30}})
+	sets := [][]int{{0, 1, 2}, {2}, {}}
+	mean := Aggregate(x, sets, AggMean)
+	if mean.At(0, 0) != 2 || mean.At(0, 1) != 20 {
+		t.Fatalf("mean row 0 = (%v,%v)", mean.At(0, 0), mean.At(0, 1))
+	}
+	if mean.At(2, 0) != 0 {
+		t.Fatal("empty set must aggregate to zero")
+	}
+	maxT := Aggregate(x, sets, AggMax)
+	if maxT.At(0, 0) != 3 || maxT.At(0, 1) != 30 {
+		t.Fatal("max wrong")
+	}
+	minT := Aggregate(x, sets, AggMin)
+	if minT.At(0, 0) != 1 {
+		t.Fatal("min wrong")
+	}
+	sum := Aggregate(x, sets, AggSum)
+	if sum.At(0, 0) != 6 {
+		t.Fatal("sum wrong")
+	}
+}
+
+func TestAggregateGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := Param(rng, 2, 2)
+	base := FromRows([][]float64{{1, 2}, {3, 1}, {0.5, -1}})
+	sets := [][]int{{1, 2}, {0}, {0, 1, 2}}
+	target := FromRows([][]float64{{0, 0}, {1, 1}, {0.5, -0.5}})
+	for _, kind := range []AggKind{AggMean, AggMax, AggMin, AggSum} {
+		forward := func() *Tensor {
+			return MSE(Aggregate(MatMul(base, w), sets, kind), target)
+		}
+		for i := range w.Grad {
+			w.Grad[i] = 0
+		}
+		Backward(forward())
+		for idx := range w.Data {
+			num := numericalGrad(w, idx, func() float64 { return forward().Data[0] })
+			if !approxEqual(w.Grad[idx], num, 1e-3) {
+				t.Errorf("kind %d grad[%d] = %v vs numerical %v", kind, idx, w.Grad[idx], num)
+			}
+		}
+	}
+}
+
+func TestReciprocalGuard(t *testing.T) {
+	x := FromRows([][]float64{{0, 2, -4}})
+	r := Reciprocal(x, 1e-9)
+	if r.At(0, 0) != 1 {
+		t.Fatal("zero denominator must map to 1")
+	}
+	if r.At(0, 1) != 0.5 || r.At(0, 2) != -0.25 {
+		t.Fatal("reciprocal values wrong")
+	}
+}
+
+func TestReciprocalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := Param(rng, 1, 3)
+	for i := range w.Data {
+		w.Data[i] += 2 // keep away from the eps guard
+	}
+	target := FromRows([][]float64{{0.2, 0.4, 0.3}})
+	forward := func() *Tensor { return MSE(Reciprocal(w, 1e-9), target) }
+	Backward(forward())
+	for idx := range w.Data {
+		num := numericalGrad(w, idx, func() float64 { return forward().Data[0] })
+		if !approxEqual(w.Grad[idx], num, 1e-4) {
+			t.Errorf("grad[%d] = %v vs %v", idx, w.Grad[idx], num)
+		}
+	}
+}
+
+func TestConcatColsGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Param(rng, 2, 2)
+	b := Param(rng, 2, 1)
+	target := New(2, 3)
+	forward := func() *Tensor { return MSE(ConcatCols(a, b), target) }
+	Backward(forward())
+	for _, p := range []*Tensor{a, b} {
+		for idx := range p.Data {
+			num := numericalGrad(p, idx, func() float64 { return forward().Data[0] })
+			if !approxEqual(p.Grad[idx], num, 1e-4) {
+				t.Fatalf("concat grad mismatch")
+			}
+		}
+	}
+}
+
+func TestMulGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := Param(rng, 2, 2)
+	b := Param(rng, 2, 2)
+	target := New(2, 2)
+	forward := func() *Tensor { return MSE(Mul(a, b), target) }
+	Backward(forward())
+	for _, p := range []*Tensor{a, b} {
+		for idx := range p.Data {
+			num := numericalGrad(p, idx, func() float64 { return forward().Data[0] })
+			if !approxEqual(p.Grad[idx], num, 1e-4) {
+				t.Fatalf("mul grad mismatch")
+			}
+		}
+	}
+}
+
+func TestAdamConvergesOnLeastSquares(t *testing.T) {
+	// Fit y = 2x - 1 with a single linear layer; Adam must reach tiny loss.
+	rng := rand.New(rand.NewSource(7))
+	w := Param(rng, 2, 1) // [slope, intercept]
+	var xs, ys [][]float64
+	for i := 0; i < 16; i++ {
+		x := float64(i) / 4
+		xs = append(xs, []float64{x, 1})
+		ys = append(ys, []float64{2*x - 1})
+	}
+	x := FromRows(xs)
+	y := FromRows(ys)
+	opt := NewAdam([]*Tensor{w})
+	opt.LR = 0.05
+	opt.WeightDecay = 0
+	var last float64
+	for epoch := 0; epoch < 400; epoch++ {
+		opt.ZeroGrad()
+		loss := MSE(MatMul(x, w), y)
+		Backward(loss)
+		opt.Step()
+		last = loss.Data[0]
+	}
+	if last > 1e-3 {
+		t.Fatalf("Adam failed to converge: loss %v", last)
+	}
+	if math.Abs(w.Data[0]-2) > 0.1 || math.Abs(w.Data[1]+1) > 0.1 {
+		t.Fatalf("fit = (%v, %v), want (2, -1)", w.Data[0], w.Data[1])
+	}
+}
+
+func TestBackwardAccumulatesFanout(t *testing.T) {
+	// y = w + w: dy/dw = 2 per element.
+	rng := rand.New(rand.NewSource(8))
+	w := Param(rng, 1, 2)
+	target := New(1, 2)
+	loss := MSE(Add(w, w), target)
+	Backward(loss)
+	for idx := range w.Data {
+		want := 2 * 2 * (2 * w.Data[idx]) / 2 // dMSE = 2(y-t)/n * dy/dw, n=2
+		if !approxEqual(w.Grad[idx], want, 1e-9) {
+			t.Fatalf("fanout grad = %v, want %v", w.Grad[idx], want)
+		}
+	}
+}
+
+func TestMSEPropertyNonNegative(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 16 {
+			vals = vals[:16]
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true // skip pathological draws
+			}
+		}
+		a := FromRows([][]float64{vals})
+		b := New(1, len(vals))
+		return MSE(a, b).Data[0] >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}

@@ -1,0 +1,117 @@
+package traingen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/lisa-go/lisa/internal/attr"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/gnn"
+	"github.com/lisa-go/lisa/internal/labels"
+)
+
+// The dataset file format stores each sample's DFG plus its labels. The
+// attribute set is NOT stored — it is recomputed on load (the Attributes
+// Generator is deterministic), which keeps files small and guarantees the
+// attributes always match the loaded code version.
+
+type datasetFile struct {
+	Format  int          `json:"format"`
+	Stats   Stats        `json:"stats"`
+	Samples []sampleFile `json:"samples"`
+}
+
+type sampleFile struct {
+	Graph     json.RawMessage      `json:"graph"`
+	Order     []float64            `json:"order"`
+	Spatial   []float64            `json:"spatial"`
+	Temporal  []float64            `json:"temporal"`
+	SameLevel map[string][]float64 `json:"-"` // flattened below
+	Pairs     [][2]int             `json:"pairs"`
+	PairVals  []float64            `json:"pairValues"`
+}
+
+const datasetFormat = 1
+
+// Save writes the dataset as JSON.
+func (ds *Dataset) Save(w io.Writer) error {
+	out := datasetFile{Format: datasetFormat, Stats: ds.Stats}
+	for i := range ds.Samples {
+		s := &ds.Samples[i]
+		var gbuf jsonBuffer
+		if err := s.Set.An.G.WriteJSON(&gbuf); err != nil {
+			return err
+		}
+		sf := sampleFile{
+			Graph:    json.RawMessage(gbuf.data),
+			Order:    s.Lbl.Order,
+			Spatial:  s.Lbl.Spatial,
+			Temporal: s.Lbl.Temporal,
+		}
+		for p, v := range s.Lbl.SameLevel {
+			sf.Pairs = append(sf.Pairs, [2]int{p.A, p.B})
+			sf.PairVals = append(sf.PairVals, v)
+		}
+		out.Samples = append(out.Samples, sf)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// Load reads a dataset written by Save and regenerates the attribute sets.
+func Load(r io.Reader) (*Dataset, error) {
+	var in datasetFile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("traingen: decode dataset: %w", err)
+	}
+	if in.Format != datasetFormat {
+		return nil, fmt.Errorf("traingen: unsupported dataset format %d", in.Format)
+	}
+	ds := &Dataset{Stats: in.Stats}
+	for i, sf := range in.Samples {
+		g, err := dfg.ReadJSON(bytesReader(sf.Graph))
+		if err != nil {
+			return nil, fmt.Errorf("traingen: sample %d: %w", i, err)
+		}
+		lbl := labels.NewZero(g)
+		if len(sf.Order) != g.NumNodes() ||
+			len(sf.Spatial) != g.NumEdges() || len(sf.Temporal) != g.NumEdges() {
+			return nil, fmt.Errorf("traingen: sample %d: label shapes do not match graph", i)
+		}
+		copy(lbl.Order, sf.Order)
+		copy(lbl.Spatial, sf.Spatial)
+		copy(lbl.Temporal, sf.Temporal)
+		if len(sf.Pairs) != len(sf.PairVals) {
+			return nil, fmt.Errorf("traingen: sample %d: pair arrays diverge", i)
+		}
+		for j, p := range sf.Pairs {
+			lbl.SameLevel[labels.MakePair(p[0], p[1])] = sf.PairVals[j]
+		}
+		ds.Samples = append(ds.Samples, gnn.Sample{Set: attr.Generate(g), Lbl: lbl})
+	}
+	return ds, nil
+}
+
+// jsonBuffer is a minimal io.Writer over a byte slice.
+type jsonBuffer struct{ data []byte }
+
+func (b *jsonBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// bytesReader adapts a byte slice to io.Reader without importing bytes (kept
+// symmetric with jsonBuffer).
+func bytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

@@ -1,0 +1,198 @@
+// Package traingen implements the paper's GNN training-data generation
+// pipeline (§V): generate a set of random unlabelled DFGs, derive labels for
+// each by an iterative *partial* label-aware simulated-annealing method
+// (labels only seed the initial mapping; later movements are random), select
+// label candidates by mapping quality (best II, routing cost within 1.15× of
+// the best), and filter DFGs through the metric e = O + σ·N before admitting
+// them to the training set.
+package traingen
+
+import (
+	"math/rand"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/attr"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/gnn"
+	"github.com/lisa-go/lisa/internal/labels"
+	"github.com/lisa-go/lisa/internal/mapper"
+)
+
+// Config parameterizes dataset generation.
+type Config struct {
+	// NumDFGs is how many random DFGs to generate (the paper uses 1000 per
+	// accelerator; the quick profile uses far fewer).
+	NumDFGs int
+	// Iterations is how many label-update rounds each DFG gets (§V-B "use
+	// updated labels to map again and repeat").
+	Iterations int
+	Seed       int64
+
+	DFG     dfg.RandomConfig
+	MapOpts mapper.Options
+	Filter  labels.FilterConfig
+}
+
+// DefaultConfig returns the quick-profile generation settings.
+func DefaultConfig() Config {
+	return Config{
+		NumDFGs:    60,
+		Iterations: 3,
+		DFG:        dfg.DefaultRandomConfig(),
+		MapOpts:    mapper.Options{MaxMoves: 900},
+		Filter:     labels.DefaultFilterConfig(),
+	}
+}
+
+// Stats reports what happened during generation.
+type Stats struct {
+	Generated int // DFGs created
+	Mapped    int // DFGs with at least one successful mapping
+	Admitted  int // DFGs surviving the label filter
+}
+
+// Dataset is the generated training data.
+type Dataset struct {
+	Samples []gnn.Sample
+	Stats   Stats
+}
+
+// supportedComputeOps returns the non-memory op kinds that at least one PE
+// of the architecture can execute. Training DFGs must stay inside this set —
+// a random DFG with a compare on a fixed-function systolic array could never
+// map, and §V-A wants DFGs assigned operations "according to the supported
+// operations".
+func supportedComputeOps(ar arch.Arch) []dfg.OpKind {
+	var out []dfg.OpKind
+	for k := 1; k < dfg.NumOpKinds(); k++ {
+		op := dfg.OpKind(k)
+		if op.IsMemory() || op == dfg.OpConst {
+			continue
+		}
+		for pe := 0; pe < ar.NumPEs(); pe++ {
+			if ar.SupportsOp(pe, op) {
+				out = append(out, op)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Generate builds a labelled dataset for ar.
+func Generate(ar arch.Arch, cfg Config) *Dataset {
+	if cfg.NumDFGs == 0 {
+		cfg = DefaultConfig()
+	}
+	// Restrict the op pool to what the target can execute, preserving the
+	// configured mix where possible.
+	supported := map[dfg.OpKind]bool{}
+	for _, op := range supportedComputeOps(ar) {
+		supported[op] = true
+	}
+	var pool []dfg.OpKind
+	for _, op := range cfg.DFG.Ops {
+		if supported[op] {
+			pool = append(pool, op)
+		}
+	}
+	if len(pool) == 0 {
+		pool = supportedComputeOps(ar)
+	}
+	cfg.DFG.Ops = pool
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{}
+	for i := 0; i < cfg.NumDFGs; i++ {
+		g := dfg.Random(rng, cfg.DFG, dfgName(i))
+		ds.Stats.Generated++
+		sample, ok := labelOne(ar, g, cfg, rng)
+		if !ok {
+			continue
+		}
+		ds.Stats.Mapped++
+		if sample != nil {
+			ds.Samples = append(ds.Samples, *sample)
+			ds.Stats.Admitted++
+		}
+	}
+	return ds
+}
+
+func dfgName(i int) string {
+	return "train" + string(rune('a'+i%26)) + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+// labelOne runs the iterative label-derivation of §V-B for one DFG. The
+// second return value reports whether any mapping succeeded; the sample is
+// nil when the filter rejects the DFG.
+func labelOne(ar arch.Arch, g *dfg.Graph, cfg Config, rng *rand.Rand) (*gnn.Sample, bool) {
+	an := dfg.Analyze(g)
+	cur := labels.Initial(an)
+	var cands []labels.Candidate
+	bestII := 0
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		opts := cfg.MapOpts
+		opts.Seed = rng.Int63()
+		res := mapper.Map(ar, g, mapper.AlgPart, cur, opts)
+		if !res.OK {
+			continue // keep previous labels, map again (paper §V-B)
+		}
+		extracted := labels.Extract(an, res.Stats(ar))
+		cands = append(cands, labels.Candidate{
+			Labels: extracted, II: res.II, RoutingCost: res.RoutingCost,
+		})
+		// Update the working labels only when the new mapping is at least
+		// as good as anything seen so far.
+		if bestII == 0 || res.II <= bestII {
+			bestII = res.II
+			cur = extracted
+		}
+	}
+	if len(cands) == 0 {
+		return nil, false
+	}
+	combined, n := labels.SelectAndCombine(cands)
+	if _, ok := cfg.Filter.Admit(bestII, ar.MinII(g), n); !ok {
+		return nil, true
+	}
+	return &gnn.Sample{Set: attr.Generate(g), Lbl: combined}, true
+}
+
+// Split partitions a dataset into train and test subsets with the given
+// training fraction, shuffling deterministically by seed.
+func Split(ds *Dataset, trainFrac float64, seed int64) (train, test []gnn.Sample) {
+	idx := make([]int, len(ds.Samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	cut := int(float64(len(idx)) * trainFrac)
+	if cut < 1 && len(idx) > 0 {
+		cut = 1
+	}
+	for i, id := range idx {
+		if i < cut {
+			train = append(train, ds.Samples[id])
+		} else {
+			test = append(test, ds.Samples[id])
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,172 @@
+package traingen
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/gnn"
+	"github.com/lisa-go/lisa/internal/mapper"
+)
+
+func quickConfig(n int, seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.NumDFGs = n
+	cfg.Iterations = 2
+	cfg.Seed = seed
+	cfg.MapOpts = mapper.Options{MaxMoves: 500}
+	return cfg
+}
+
+func TestGenerateProducesAdmittedSamples(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	ds := Generate(ar, quickConfig(12, 1))
+	if ds.Stats.Generated != 12 {
+		t.Fatalf("generated = %d", ds.Stats.Generated)
+	}
+	if ds.Stats.Mapped == 0 {
+		t.Fatal("no DFG mapped at all")
+	}
+	if len(ds.Samples) == 0 {
+		t.Fatal("no samples admitted")
+	}
+	if ds.Stats.Admitted != len(ds.Samples) {
+		t.Fatal("stats inconsistent")
+	}
+	for i, s := range ds.Samples {
+		if err := s.Lbl.Validate(s.Set.An.G); err != nil {
+			t.Errorf("sample %d: %v", i, err)
+		}
+		// Extracted temporal labels must be >= 1 (a route takes a cycle).
+		for e, tv := range s.Lbl.Temporal {
+			if tv < 1 {
+				t.Errorf("sample %d edge %d temporal %v < 1", i, e, tv)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ar := arch.NewBaseline3x3()
+	a := Generate(ar, quickConfig(6, 42))
+	b := Generate(ar, quickConfig(6, 42))
+	if len(a.Samples) != len(b.Samples) || a.Stats != b.Stats {
+		t.Fatalf("same seed diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	ds := Generate(ar, quickConfig(10, 3))
+	if len(ds.Samples) < 2 {
+		t.Skip("not enough samples in quick profile")
+	}
+	train, test := Split(ds, 0.75, 1)
+	if len(train)+len(test) != len(ds.Samples) {
+		t.Fatal("split lost samples")
+	}
+	if len(train) == 0 {
+		t.Fatal("empty training split")
+	}
+}
+
+func TestEndToEndTrainOnGenerated(t *testing.T) {
+	// The full §V pipeline: generate -> train -> accuracy sane.
+	ar := arch.NewBaseline4x4()
+	ds := Generate(ar, quickConfig(14, 5))
+	if len(ds.Samples) < 4 {
+		t.Skipf("only %d samples; budget too small on this machine", len(ds.Samples))
+	}
+	train, test := Split(ds, 0.7, 2)
+	m := gnn.NewModel(randSource(1), ar.Name())
+	m.Train(train, gnn.TrainConfig{Epochs: 40, LR: 0.003, WeightDecay: 0.0005})
+	acc := m.Accuracy(test)
+	for k, a := range acc {
+		if a < 0 || a > 1 {
+			t.Fatalf("label %d accuracy out of range: %v", k+1, a)
+		}
+	}
+	t.Logf("quick-profile accuracies: %.3f", acc)
+}
+
+// randSource adapts a seed for gnn.NewModel.
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	ds := Generate(ar, quickConfig(8, 9))
+	if len(ds.Samples) == 0 {
+		t.Skip("no samples at this budget")
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != len(ds.Samples) || back.Stats != ds.Stats {
+		t.Fatalf("round trip lost data: %d vs %d samples", len(back.Samples), len(ds.Samples))
+	}
+	for i := range ds.Samples {
+		a, b := &ds.Samples[i], &back.Samples[i]
+		if a.Set.An.G.NumNodes() != b.Set.An.G.NumNodes() {
+			t.Fatal("graph shape changed")
+		}
+		for v := range a.Lbl.Order {
+			if a.Lbl.Order[v] != b.Lbl.Order[v] {
+				t.Fatal("order labels changed")
+			}
+		}
+		for p, val := range a.Lbl.SameLevel {
+			if b.Lbl.SameLevel[p] != val {
+				t.Fatal("same-level labels changed")
+			}
+		}
+		// Attributes regenerate identically.
+		for v := range a.Set.Node {
+			for j := range a.Set.Node[v] {
+				if a.Set.Node[v][j] != b.Set.Node[v][j] {
+					t.Fatal("attributes diverged after reload")
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetLoadRejectsBadInput(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated input must fail")
+	}
+	if _, err := Load(strings.NewReader(`{"format":9}`)); err == nil {
+		t.Fatal("bad format must fail")
+	}
+}
+
+func TestGenerateRespectsArchOps(t *testing.T) {
+	// On the systolic array, training DFGs must only use mul/add compute
+	// ops (the fixed-function PEs cannot execute anything else).
+	ar := arch.NewSystolic5x5()
+	ds := Generate(ar, quickConfig(8, 17))
+	if ds.Stats.Generated != 8 {
+		t.Fatal("generation incomplete")
+	}
+	for _, s := range ds.Samples {
+		for _, n := range s.Set.An.G.Nodes {
+			ok := false
+			for pe := 0; pe < ar.NumPEs(); pe++ {
+				if ar.SupportsOp(pe, n.Op) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("training DFG carries unsupported op %s", n.Op)
+			}
+		}
+	}
+	t.Logf("systolic: mapped %d admitted %d of %d", ds.Stats.Mapped, ds.Stats.Admitted, ds.Stats.Generated)
+}

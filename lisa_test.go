@@ -1,0 +1,197 @@
+package lisa_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	lisa "github.com/lisa-go/lisa"
+)
+
+func TestPublicPipelineQuickstart(t *testing.T) {
+	fw := lisa.New(lisa.CGRA4x4())
+	fw.MapOpts.MaxMoves = 1200
+	fw.MapOpts.Seed = 1
+	g, err := lisa.Kernel("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := fw.Map(g)
+	if !res.OK {
+		t.Fatal("untrained framework failed to map gemm")
+	}
+	if err := fw.Verify(g, &res); err != nil {
+		t.Fatal(err)
+	}
+	desc := lisa.Describe(fw.Arch, g, &res)
+	if !strings.Contains(desc, "II=") || !strings.Contains(desc, "PE(") {
+		t.Errorf("describe output malformed:\n%s", desc)
+	}
+}
+
+func TestTrainThenMap(t *testing.T) {
+	fw := lisa.New(lisa.CGRA3x3())
+	fw.MapOpts.MaxMoves = 1200
+	opt := lisa.QuickTraining()
+	opt.NumDFGs = 10
+	opt.Epochs = 10
+	opt.MapBudget = 400
+	rep := fw.Train(opt)
+	if rep.Generated != 10 || rep.Admitted == 0 {
+		t.Fatalf("training report %+v", rep)
+	}
+	if fw.Model == nil {
+		t.Fatal("model missing after training")
+	}
+	g, _ := lisa.Kernel("doitgen")
+	lbl := fw.DeriveLabels(g)
+	if len(lbl.Order) != g.NumNodes() {
+		t.Fatal("labels not shaped for DFG")
+	}
+	res := fw.Map(g)
+	if !res.OK {
+		t.Fatal("trained framework failed to map doitgen on 3x3")
+	}
+	if err := fw.Verify(g, &res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomKernelViaBuilder(t *testing.T) {
+	b := lisa.NewGraphBuilder("dot4")
+	px, py, i := b.Const("px"), b.Const("py"), b.Const("i")
+	x := b.Load("x", b.Addr("ax", px, i))
+	y := b.Load("y", b.Addr("ay", py, i))
+	m := b.Mul("xy", x, y)
+	acc := b.Load("acc", px)
+	s := b.Add("sum", acc, m)
+	b.Store("out", px, s)
+	g := b.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fw := lisa.New(lisa.CGRA4x4())
+	fw.MapOpts.MaxMoves = 800
+	res := fw.Map(g)
+	if !res.OK {
+		t.Fatal("failed to map custom kernel")
+	}
+}
+
+func TestPortabilityAcrossTargets(t *testing.T) {
+	g, _ := lisa.Kernel("syrk")
+	mapped := 0
+	for _, ar := range lisa.Targets() {
+		fw := lisa.New(ar)
+		fw.MapOpts.MaxMoves = 1200
+		res := fw.Map(g)
+		if res.OK {
+			mapped++
+			if err := fw.Verify(g, &res); err != nil {
+				t.Errorf("%s: %v", ar.Name(), err)
+			}
+		}
+	}
+	if mapped < 5 {
+		t.Errorf("syrk mapped on only %d/6 targets", mapped)
+	}
+}
+
+func TestDescribeFailure(t *testing.T) {
+	fw := lisa.New(lisa.Systolic5x5())
+	g, _ := lisa.Kernel("trmm")
+	res := fw.Map(g)
+	if res.OK {
+		t.Fatal("trmm on systolic must fail")
+	}
+	desc := lisa.Describe(fw.Arch, g, &res)
+	if !strings.Contains(desc, "no mapping") {
+		t.Errorf("failure description malformed: %s", desc)
+	}
+}
+
+func TestUnrollExported(t *testing.T) {
+	g, _ := lisa.Kernel("gemm")
+	u := lisa.Unroll(g, 2)
+	if u.NumNodes() <= g.NumNodes() {
+		t.Fatal("unroll did not grow the DFG")
+	}
+	u2, err := lisa.KernelUnrolled("gemm")
+	if err != nil || u2.NumNodes() != u.NumNodes() {
+		t.Fatal("KernelUnrolled inconsistent with Unroll")
+	}
+}
+
+func TestPublicSimulateAndReports(t *testing.T) {
+	fw := lisa.New(lisa.CGRA4x4())
+	fw.MapOpts.MaxMoves = 1500
+	fw.MapOpts.Seed = 2
+	g, _ := lisa.Kernel("syrk")
+	res := fw.Map(g)
+	if !res.OK {
+		t.Fatal("map failed")
+	}
+	tr, err := fw.Simulate(g, &res, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalCycles <= 0 || len(tr.Stores) == 0 {
+		t.Fatal("trace empty")
+	}
+	u, err := fw.Utilization(g, &res)
+	if err != nil || u.FUCompute <= 0 {
+		t.Fatalf("utilization: %v %+v", err, u)
+	}
+	table := fw.ScheduleTable(g, &res)
+	if !strings.Contains(table, "cycle") {
+		t.Fatal("schedule table malformed")
+	}
+}
+
+func TestPublicLoadArch(t *testing.T) {
+	spec := `{"name":"tiny-2x3","rows":2,"cols":3,
+	          "defaults":{"registers":2,"ops":"all"}}`
+	ar, err := lisa.LoadArch(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := lisa.New(ar)
+	fw.MapOpts.MaxMoves = 1500
+	g, _ := lisa.Kernel("doitgen")
+	res := fw.Map(g)
+	if !res.OK {
+		t.Fatal("custom arch mapping failed")
+	}
+	if err := fw.Verify(g, &res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicExtendedTargets(t *testing.T) {
+	if len(lisa.ExtendedTargets()) != 8 {
+		t.Fatal("extended targets must include torus and hetero variants")
+	}
+	if lisa.Torus4x4().Name() == "" || lisa.Hetero4x4().Name() == "" {
+		t.Fatal("variant constructors broken")
+	}
+}
+
+func TestPublicDFGLoaders(t *testing.T) {
+	g, _ := lisa.Kernel("gemm")
+	var dot bytes.Buffer
+	if err := g.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	back, err := lisa.ParseDOT(&dot)
+	if err != nil || back.NumNodes() != g.NumNodes() {
+		t.Fatalf("DOT round trip: %v", err)
+	}
+	var js bytes.Buffer
+	if err := g.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := lisa.ReadDFG(&js)
+	if err != nil || back2.NumEdges() != g.NumEdges() {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+}
