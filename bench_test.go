@@ -26,6 +26,9 @@ import (
 )
 
 // benchProfile trims the Quick profile so the full suite stays in minutes.
+// Workers = 0 fans the experiment grid and dataset generation out over all
+// CPUs (the paper's artifact ran on a 14-core server); results are
+// identical to a -workers=1 serial run.
 func benchProfile() experiments.Profile {
 	p := experiments.Quick()
 	p.Name = "bench"
@@ -35,6 +38,7 @@ func benchProfile() experiments.Profile {
 	p.TrainGen.NumDFGs = 24
 	p.TrainGen.MapOpts.MaxMoves = 600
 	p.TrainCfg.Epochs = 40
+	p.Workers = 0
 	return p
 }
 
@@ -240,6 +244,32 @@ func BenchmarkAblation_LabelFilter(b *testing.B) {
 		b.StartTimer()
 	}
 }
+
+// runTraingen measures dataset generation at a fixed worker count; the
+// resulting dataset is identical at every setting, so the two benchmarks
+// below isolate the fan-out speedup.
+func runTraingen(b *testing.B, workers int) {
+	cfg := benchProfile().TrainGen
+	cfg.Seed = 1
+	cfg.NumDFGs = 16
+	cfg.Workers = workers
+	ar := arch.NewBaseline4x4()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := traingen.Generate(ar, cfg)
+		if ds.Stats.Generated != cfg.NumDFGs {
+			b.Fatal("generation incomplete")
+		}
+	}
+}
+
+// BenchmarkTraingenSerial generates the training dataset on one worker (the
+// exact serial path).
+func BenchmarkTraingenSerial(b *testing.B) { runTraingen(b, 1) }
+
+// BenchmarkTraingenParallel generates the same dataset with one worker per
+// CPU; compare against BenchmarkTraingenSerial for the fan-out speedup.
+func BenchmarkTraingenParallel(b *testing.B) { runTraingen(b, 0) }
 
 // BenchmarkMapperCore measures the raw label-aware mapper on one kernel —
 // the inner loop every figure exercises.

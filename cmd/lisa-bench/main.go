@@ -26,6 +26,7 @@ func main() {
 	exp := flag.String("exp", "fig9b", "experiment id (fig9a..g, fig10, fig11, fig12, fig13, table2, all)")
 	profile := flag.String("profile", "quick", "budget profile: quick|paper")
 	seed := flag.Int64("seed", 1, "profile seed")
+	workers := flag.Int("workers", 0, "parallel workers for the experiment grid and training-data generation (0 = all CPUs, 1 = serial); results are identical at any setting")
 	outDir := flag.String("out", "", "also write <exp>.json and <exp>.svg files into this directory")
 	shapes := flag.Bool("shapes", false, "evaluate the paper-shape assertions on Fig. 9 results")
 	flag.Parse()
@@ -40,6 +41,7 @@ func main() {
 		fatal(fmt.Errorf("unknown profile %q", *profile))
 	}
 	p.Seed = *seed
+	p.Workers = *workers
 	ctx := experiments.NewContext(p)
 
 	ids := []string{*exp}

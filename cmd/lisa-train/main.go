@@ -30,6 +30,7 @@ func main() {
 	iters := flag.Int("iters", 3, "label-update iterations per DFG")
 	epochs := flag.Int("epochs", 60, "training epochs (paper: 500)")
 	moves := flag.Int("moves", 900, "SA movement budget while labelling")
+	workers := flag.Int("workers", 0, "parallel workers for DFG generation+labelling (0 = all CPUs, 1 = serial); the dataset is identical at any setting")
 	seed := flag.Int64("seed", 1, "pipeline seed")
 	testFrac := flag.Float64("test", 0.25, "held-out fraction for accuracy report")
 	datasetOut := flag.String("dataset", "", "also save the labelled dataset to this JSON file")
@@ -61,6 +62,7 @@ func main() {
 	cfg.NumDFGs = *numDFGs
 	cfg.Iterations = *iters
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.MapOpts = mapper.Options{MaxMoves: *moves}
 
 	fmt.Printf("generating %d DFGs and labelling them on %s ...\n", cfg.NumDFGs, ar.Name())

@@ -10,6 +10,7 @@ import (
 	"github.com/lisa-go/lisa/internal/dfg"
 	"github.com/lisa-go/lisa/internal/kernels"
 	"github.com/lisa-go/lisa/internal/mapper"
+	"github.com/lisa-go/lisa/internal/parallel"
 	"github.com/lisa-go/lisa/internal/power"
 	"github.com/lisa-go/lisa/internal/traingen"
 )
@@ -63,24 +64,34 @@ func Fig9SpecByID(id string) (Fig9Spec, bool) {
 }
 
 // Compare runs the given methods over a kernel set on one architecture.
+// The kernel × method cells fan out over Profile.Workers goroutines; every
+// cell is seeded independently of scheduling, so the rows are identical at
+// any worker count.
 func (c *Context) Compare(label string, ar arch.Arch, kernelNames []string,
 	unrolled bool, methods []Method) *Comparison {
 
 	cmp := &Comparison{Arch: ar, Label: label, Methods: methods}
-	for _, name := range kernelNames {
-		var g *dfg.Graph
+	graphs := make([]*dfg.Graph, len(kernelNames))
+	for i, name := range kernelNames {
 		var err error
 		if unrolled {
-			g, err = kernels.Unrolled(name)
+			graphs[i], err = kernels.Unrolled(name)
 		} else {
-			g, err = kernels.ByName(name)
+			graphs[i], err = kernels.ByName(name)
 		}
 		if err != nil {
 			panic(err)
 		}
+	}
+
+	results := parallel.MapOrdered(c.Profile.Workers, len(graphs)*len(methods),
+		func(i int) mapper.Result {
+			return c.Run(ar, graphs[i/len(methods)], methods[i%len(methods)])
+		})
+	for gi, g := range graphs {
 		row := CompareRow{Kernel: g.Name, Graph: g, Results: map[Method]mapper.Result{}}
-		for _, m := range methods {
-			row.Results[m] = c.Run(ar, g, m)
+		for mi, m := range methods {
+			row.Results[m] = results[gi*len(methods)+mi]
 		}
 		cmp.Rows = append(cmp.Rows, row)
 	}
@@ -197,22 +208,25 @@ type Table2Row struct {
 
 // Table2 trains (via the context cache) and evaluates the GNN for each
 // architecture. Accuracy is measured on a fresh dataset generated with a
-// different seed — the equivalent of the paper's held-out evaluation.
+// different seed — the equivalent of the paper's held-out evaluation. The
+// per-architecture train+evaluate pipelines fan out over Profile.Workers.
 func (c *Context) Table2(targets []arch.Arch) []Table2Row {
-	var rows []Table2Row
-	for _, ar := range targets {
+	return parallel.MapOrdered(c.Profile.Workers, len(targets), func(i int) Table2Row {
+		ar := targets[i]
 		model := c.ModelFor(ar)
 		cfg := c.Profile.TrainGen
 		cfg.Seed = c.Profile.Seed + 99991
 		cfg.NumDFGs = maxInt(12, cfg.NumDFGs/2)
+		if cfg.Workers == 0 {
+			cfg.Workers = c.Profile.Workers
+		}
 		ds := traingen.Generate(ar, cfg)
 		row := Table2Row{ArchName: ar.Name(), Samples: len(ds.Samples)}
 		if len(ds.Samples) > 0 {
 			row.Accuracy = model.Accuracy(ds.Samples)
 		}
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 func maxInt(a, b int) int {
@@ -383,12 +397,13 @@ func (s Summary) String() string {
 // Portability runs the LISA-vs-baselines sweep over the extended target set
 // (the paper's six plus the torus and heterogeneous CGRA variants): the
 // scenario a portable compiler exists for. Methods: Greedy (one-pass list
-// scheduling), SA, LISA.
+// scheduling), SA, LISA. Targets fan out over Profile.Workers, each
+// training its own GNN concurrently with the others' grids.
 func (c *Context) Portability(kernelNames []string) []*Comparison {
-	var out []*Comparison
-	for _, ar := range arch.ExtendedTargets() {
-		out = append(out, c.Compare("Portability:"+ar.Name(), ar, kernelNames, false,
-			[]Method{MethodGreedy, MethodSA, MethodLISA}))
-	}
-	return out
+	targets := arch.ExtendedTargets()
+	return parallel.MapOrdered(c.Profile.Workers, len(targets), func(i int) *Comparison {
+		ar := targets[i]
+		return c.Compare("Portability:"+ar.Name(), ar, kernelNames, false,
+			[]Method{MethodGreedy, MethodSA, MethodLISA})
+	})
 }

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/kernels"
+	"github.com/lisa-go/lisa/internal/mapper"
+)
+
+// stripTiming drops the only intentionally nondeterministic Result field so
+// the rest can be compared exactly.
+func stripTiming(r mapper.Result) mapper.Result {
+	r.Duration = 0
+	return r
+}
+
+// TestConcurrentContextDeterministic maps the same kernel through one
+// shared Context from many goroutines (run with -race) and asserts every
+// result — including the SA median pick with its Routes, Moves and
+// TriedIIs — is identical to the serial Workers=1 run.
+func TestConcurrentContextDeterministic(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+
+	serialProfile := testProfile()
+	serialProfile.SARuns = 3 // exercise the median pick
+	serialProfile.Workers = 1
+	serial := NewContext(serialProfile)
+	wantSA := stripTiming(serial.Run(ar, g, MethodSA))
+	wantLISA := stripTiming(serial.Run(ar, g, MethodLISA))
+
+	sharedProfile := serialProfile
+	sharedProfile.Workers = 4
+	shared := NewContext(sharedProfile)
+
+	const goroutines = 4
+	gotSA := make([]mapper.Result, goroutines)
+	gotLISA := make([]mapper.Result, goroutines)
+	models := make([]interface{}, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				gotSA[i] = shared.Run(ar, g, MethodSA)
+				gotLISA[i] = shared.Run(ar, g, MethodLISA)
+			} else {
+				gotLISA[i] = shared.Run(ar, g, MethodLISA)
+				gotSA[i] = shared.Run(ar, g, MethodSA)
+			}
+			models[i] = shared.ModelFor(ar)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < goroutines; i++ {
+		if got := stripTiming(gotSA[i]); !reflect.DeepEqual(got, wantSA) {
+			t.Errorf("goroutine %d: SA median diverged from serial run:\n got %+v\nwant %+v",
+				i, got, wantSA)
+		}
+		if got := stripTiming(gotLISA[i]); !reflect.DeepEqual(got, wantLISA) {
+			t.Errorf("goroutine %d: LISA result diverged from serial run:\n got %+v\nwant %+v",
+				i, got, wantLISA)
+		}
+		if models[i] != models[0] {
+			t.Errorf("goroutine %d saw a different model instance; per-arch training must run once", i)
+		}
+	}
+}
+
+// TestCompareWorkerCountInvariant runs a trimmed grid (kernel × method
+// cells, SA median-of-three and LISA) at Workers=1 and Workers=8 and
+// asserts the comparison rows are identical apart from compile-time
+// measurements. ILP is left out: it runs under a wall-clock budget
+// (TimeLimitPerII), so its outcome is timing-dependent even serially; the
+// SA and LISA engines carry the determinism guarantee.
+func TestCompareWorkerCountInvariant(t *testing.T) {
+	run := func(workers int) *Comparison {
+		p := testProfile()
+		p.SARuns = 3
+		p.Workers = workers
+		c := NewContext(p)
+		return c.Compare("grid", arch.NewBaseline4x4(), []string{"gemm", "bicg"}, false,
+			[]Method{MethodSA, MethodLISA})
+	}
+	serial, par := run(1), run(8)
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(par.Rows))
+	}
+	for i := range serial.Rows {
+		sr, pr := serial.Rows[i], par.Rows[i]
+		if sr.Kernel != pr.Kernel {
+			t.Fatalf("row %d kernel order diverged: %s vs %s", i, sr.Kernel, pr.Kernel)
+		}
+		for _, m := range serial.Methods {
+			a, b := stripTiming(sr.Results[m]), stripTiming(pr.Results[m])
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s/%s diverged between Workers=1 and Workers=8:\n got %+v\nwant %+v",
+					sr.Kernel, m, b, a)
+			}
+		}
+	}
+}
+
+// TestMedianRunDeterministicTieBreak reruns the SA median many times on one
+// context and asserts the pick never changes — the tie-break is the run's
+// slot index, not wall-clock duration.
+func TestMedianRunDeterministicTieBreak(t *testing.T) {
+	p := testProfile()
+	p.SARuns = 3
+	p.Workers = 4
+	c := NewContext(p)
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("syrk")
+	want := stripTiming(c.Run(ar, g, MethodSA))
+	for i := 0; i < 2; i++ {
+		if got := stripTiming(c.Run(ar, g, MethodSA)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("rerun %d picked a different median:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"github.com/lisa-go/lisa/internal/ilp"
 	"github.com/lisa-go/lisa/internal/labels"
 	"github.com/lisa-go/lisa/internal/mapper"
+	"github.com/lisa-go/lisa/internal/parallel"
 	"github.com/lisa-go/lisa/internal/traingen"
 )
 
@@ -36,6 +37,13 @@ type Profile struct {
 	TrainCfg gnn.TrainConfig // GNN training
 	SARuns   int             // SA median-of-N runs (paper: 3)
 	Seed     int64
+
+	// Workers fans the experiment grid (kernel × method cells), the SA
+	// median runs and dataset generation out over this many goroutines:
+	// <= 0 means one per CPU (runtime.GOMAXPROCS), 1 is the exact serial
+	// path. Every cell and every training DFG is seeded independently of
+	// scheduling, so results are identical at any worker count.
+	Workers int
 }
 
 // Quick returns the profile used by tests and `go test -bench`. A full
@@ -90,37 +98,71 @@ func Paper() Profile {
 }
 
 // Context caches trained GNN models per architecture so that all figures
-// share one training run per target, as the paper does.
+// share one training run per target, as the paper does. It is safe for
+// concurrent use: grid cells that need the same accelerator block on a
+// per-architecture once and see exactly one training run.
 type Context struct {
 	Profile Profile
 
-	models map[string]*gnn.Model
-	stats  map[string]traingen.Stats
+	mu     sync.Mutex
+	models map[string]*modelEntry
+}
+
+// modelEntry is the per-architecture cache slot. The once gates training so
+// concurrent ModelFor calls for one target train exactly one model.
+type modelEntry struct {
+	once  sync.Once
+	model *gnn.Model
+	stats traingen.Stats
 }
 
 // NewContext creates a fresh experiment context.
 func NewContext(p Profile) *Context {
 	return &Context{
 		Profile: p,
-		models:  make(map[string]*gnn.Model),
-		stats:   make(map[string]traingen.Stats),
+		models:  make(map[string]*modelEntry),
 	}
 }
 
-// ModelFor returns the trained GNN model for ar, training it on first use
-// (training-data generation + four-network training, §V and §IV).
-func (c *Context) ModelFor(ar arch.Arch) *gnn.Model {
-	if m, ok := c.models[ar.Name()]; ok {
-		return m
+// entryFor returns (allocating if needed) the cache slot for an
+// architecture name.
+func (c *Context) entryFor(name string) *modelEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.models[name]
+	if !ok {
+		e = &modelEntry{}
+		c.models[name] = e
 	}
-	cfg := c.Profile.TrainGen
-	cfg.Seed = c.Profile.Seed
-	ds := traingen.Generate(ar, cfg)
-	m := gnn.NewModel(rand.New(rand.NewSource(c.Profile.Seed)), ar.Name())
-	m.Train(ds.Samples, c.Profile.TrainCfg)
-	c.models[ar.Name()] = m
-	c.stats[ar.Name()] = ds.Stats
-	return m
+	return e
+}
+
+// ModelFor returns the trained GNN model for ar, training it on first use
+// (training-data generation + four-network training, §V and §IV). Safe to
+// call from concurrent grid cells; the model for each architecture is
+// trained exactly once.
+func (c *Context) ModelFor(ar arch.Arch) *gnn.Model {
+	e := c.entryFor(ar.Name())
+	e.once.Do(func() {
+		cfg := c.Profile.TrainGen
+		cfg.Seed = c.Profile.Seed
+		if cfg.Workers == 0 {
+			cfg.Workers = c.Profile.Workers
+		}
+		ds := traingen.Generate(ar, cfg)
+		m := gnn.NewModel(rand.New(rand.NewSource(c.Profile.Seed)), ar.Name())
+		m.Train(ds.Samples, c.Profile.TrainCfg)
+		e.model = m
+		e.stats = ds.Stats
+	})
+	return e.model
+}
+
+// TrainStats reports the dataset-generation stats behind ar's cached model,
+// training it on first use like ModelFor.
+func (c *Context) TrainStats(ar arch.Arch) traingen.Stats {
+	c.ModelFor(ar)
+	return c.entryFor(ar.Name()).stats
 }
 
 // Method names a mapping approach in experiment output.
@@ -168,35 +210,38 @@ func (c *Context) Run(ar arch.Arch, g *dfg.Graph, m Method) mapper.Result {
 	}
 }
 
-// medianRun executes SARuns seeds — in parallel, as the paper's artifact
-// does on its multi-core server — and returns the median-quality result
-// (failures sort worst; ties break on duration). Each run is independently
-// seeded, so the outcome is deterministic regardless of scheduling.
+// medianRun executes SARuns independently seeded runs — in parallel, as
+// the paper's artifact does on its multi-core server — and returns the
+// median-quality result. Failures sort worst; quality ties break on the
+// run's slot index, which fixes its seed. Because every run is a pure
+// function of its seed and the ordering never consults wall-clock
+// measurements, the selected median — including its Routes, Moves and
+// TriedIIs — is identical across repeated invocations, worker counts and
+// schedulers.
 func (c *Context) medianRun(ar arch.Arch, g *dfg.Graph, alg mapper.Algorithm, lbl *labels.Labels) mapper.Result {
 	n := c.Profile.SARuns
 	if n < 1 {
 		n = 1
 	}
 	results := make([]mapper.Result, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	parallel.ForEach(c.Profile.Workers, n, func(i int) {
 		opts := c.Profile.MapOpts
 		opts.Seed = c.Profile.Seed + int64(i)*7919
-		wg.Add(1)
-		go func(slot int, opts mapper.Options) {
-			defer wg.Done()
-			results[slot] = mapper.Map(ar, g, alg, lbl, opts)
-		}(i, opts)
+		results[i] = mapper.Map(ar, g, alg, lbl, opts)
+	})
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
 	}
-	wg.Wait()
-	sort.Slice(results, func(i, j int) bool {
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
 		qi, qj := quality(&results[i]), quality(&results[j])
 		if qi != qj {
 			return qi < qj
 		}
-		return results[i].Duration < results[j].Duration
+		return i < j
 	})
-	return results[n/2]
+	return results[order[n/2]]
 }
 
 // quality orders results: lower is better, failures are worst.

@@ -131,6 +131,14 @@ func Map(ar arch.Arch, g *dfg.Graph, alg Algorithm, lbl *labels.Labels, opts Opt
 	}
 	res := Result{}
 	for ii := ar.MinII(g); ii <= maxII; ii++ {
+		// The budget check gates the *start* of each II attempt: once the
+		// limit is exhausted no further attempt begins, so TriedIIs never
+		// records an II that was not allowed to run. (Checking only after
+		// an attempt would both start attempts with no budget left and skip
+		// the check entirely when an overrunning attempt succeeds.)
+		if opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit {
+			break
+		}
 		res.TriedIIs = append(res.TriedIIs, ii)
 		st := newState(ar, g, an, ii, lbl, cfg, opts.Alpha, rng)
 		ok, moves := st.anneal(opts, start)
@@ -147,9 +155,6 @@ func Map(ar arch.Arch, g *dfg.Graph, alg Algorithm, lbl *labels.Labels, opts Opt
 				res.Routes[e] = append([]int(nil), p...)
 			}
 			res.RoutingCost = st.routingCost()
-			break
-		}
-		if opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit {
 			break
 		}
 	}

@@ -285,6 +285,30 @@ func TestTimeLimitStopsSweep(t *testing.T) {
 	}
 }
 
+func TestTinyTimeLimitBoundsWholeSweep(t *testing.T) {
+	// With an already-exhausted budget the II sweep must stop before
+	// starting attempts: at most the first attempt (whose anneal loop
+	// checks the limit every 64 movements) may run, TriedIIs must not
+	// record IIs that never got budget, and the whole call stays far below
+	// an unbounded sweep.
+	ar := arch.NewBaseline3x3()
+	g := kernels.MustByName("syr2k")
+	start := time.Now()
+	res := Map(ar, g, AlgSA, nil, Options{
+		Seed: 1, MaxMoves: 1 << 20, TimeLimit: time.Nanosecond, MaxII: 6,
+	})
+	elapsed := time.Since(start)
+	if len(res.TriedIIs) > 1 {
+		t.Fatalf("tiny TimeLimit still started %d II attempts: %v", len(res.TriedIIs), res.TriedIIs)
+	}
+	if res.OK {
+		t.Fatalf("II %d mapped with no budget", res.II)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("tiny TimeLimit did not bound the sweep: ran %v", elapsed)
+	}
+}
+
 func TestRoutesFieldConsistent(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("bicg")

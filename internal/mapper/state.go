@@ -105,8 +105,23 @@ func newState(ar arch.Arch, g *dfg.Graph, an *dfg.Analysis, ii int,
 		return a < b
 	})
 
+	// Build the partner lists in sorted pair order, not map-iteration order:
+	// the per-candidate cost sums partner terms in list order, and float
+	// addition is order-sensitive, so ranging over the map directly would
+	// make the whole anneal nondeterministic for the label-using engines.
 	st.partners = make([][]pairRef, g.NumNodes())
-	for p, want := range lbl.SameLevel {
+	pairs := make([]labels.Pair, 0, len(lbl.SameLevel))
+	for p := range lbl.SameLevel {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	for _, p := range pairs {
+		want := lbl.SameLevel[p]
 		st.partners[p.A] = append(st.partners[p.A], pairRef{other: p.B, want: want})
 		st.partners[p.B] = append(st.partners[p.B], pairRef{other: p.A, want: want})
 	}

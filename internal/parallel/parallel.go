@@ -1,0 +1,122 @@
+// Package parallel is the deterministic fan-out/fan-in execution layer
+// shared by training-data generation and the experiment grid.
+//
+// The paper ran its evaluation on a 14-core server (1000 training DFGs per
+// accelerator, SA median-of-three, §VI); this package lets the repro use
+// every core the same way while keeping results bit-identical to a serial
+// run. Two rules make that possible:
+//
+//  1. Ordered fan-in: work items are indexed and every worker writes its
+//     result into a caller-owned per-index slot, so output order never
+//     depends on goroutine scheduling.
+//  2. Per-task seeding: any randomized task derives its seed from
+//     (base seed, task index) via DeriveSeed, never from a shared rand.Rand
+//     stream, so the value a task computes is a pure function of its index.
+//
+// Workers <= 0 means runtime.GOMAXPROCS(0); Workers == 1 is the exact
+// serial loop (no goroutines are spawned).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 means GOMAXPROCS). Items are handed out in index order, and
+// the call returns only after every fn has finished. With workers == 1 (or
+// n <= 1) fn runs on the calling goroutine in strict index order — the
+// exact serial loop.
+//
+// fn must write its result into a caller-owned per-index slot; combined
+// with per-index seeding (DeriveSeed) that makes the fan-in deterministic
+// regardless of scheduling. A panic in any fn is re-raised on the calling
+// goroutine after all workers have drained, mirroring the serial behavior.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// MapOrdered evaluates fn(i) for every i in [0, n) with ForEach and returns
+// the results in index order — the parallel form of
+//
+//	out := make([]T, n)
+//	for i := range out { out[i] = fn(i) }
+func MapOrdered[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// DeriveSeed deterministically derives an independent seed for task index
+// from a base seed, so parallel tasks never share a random stream. It is a
+// splitmix64 step over the (base, index) pair: well-mixed enough that
+// adjacent indices produce unrelated streams, and a pure function, so the
+// same (base, index) always yields the same seed on every platform and
+// worker count.
+func DeriveSeed(base int64, index int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/lisa-go/lisa/internal/attr"
 	"github.com/lisa-go/lisa/internal/dfg"
@@ -49,9 +50,21 @@ func (ds *Dataset) Save(w io.Writer) error {
 			Spatial:  s.Lbl.Spatial,
 			Temporal: s.Lbl.Temporal,
 		}
-		for p, v := range s.Lbl.SameLevel {
+		// Emit the pairs in sorted order, not map-iteration order, so two
+		// saves of the same dataset are byte-identical.
+		pairs := make([]labels.Pair, 0, len(s.Lbl.SameLevel))
+		for p := range s.Lbl.SameLevel {
+			pairs = append(pairs, p)
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a].A != pairs[b].A {
+				return pairs[a].A < pairs[b].A
+			}
+			return pairs[a].B < pairs[b].B
+		})
+		for _, p := range pairs {
 			sf.Pairs = append(sf.Pairs, [2]int{p.A, p.B})
-			sf.PairVals = append(sf.PairVals, v)
+			sf.PairVals = append(sf.PairVals, s.Lbl.SameLevel[p])
 		}
 		out.Samples = append(out.Samples, sf)
 	}

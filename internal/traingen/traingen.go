@@ -16,6 +16,7 @@ import (
 	"github.com/lisa-go/lisa/internal/gnn"
 	"github.com/lisa-go/lisa/internal/labels"
 	"github.com/lisa-go/lisa/internal/mapper"
+	"github.com/lisa-go/lisa/internal/parallel"
 )
 
 // Config parameterizes dataset generation.
@@ -27,6 +28,12 @@ type Config struct {
 	// updated labels to map again and repeat").
 	Iterations int
 	Seed       int64
+	// Workers is how many goroutines generate+label DFGs concurrently:
+	// <= 0 means one per CPU (runtime.GOMAXPROCS), 1 runs serially. Each
+	// DFG's random stream is derived from (Seed, index), so the resulting
+	// Dataset — sample order and stats — is identical at every worker
+	// count.
+	Workers int
 
 	DFG     dfg.RandomConfig
 	MapOpts mapper.Options
@@ -101,18 +108,30 @@ func Generate(ar arch.Arch, cfg Config) *Dataset {
 	}
 	cfg.DFG.Ops = pool
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	ds := &Dataset{}
-	for i := 0; i < cfg.NumDFGs; i++ {
+	// Fan out: each DFG is generated and labelled on its own worker with a
+	// random stream derived from (Seed, index), then folded back into the
+	// dataset in index order — so the samples, their order and the stats
+	// are identical at every worker count, including Workers == 1.
+	type genResult struct {
+		sample *gnn.Sample
+		mapped bool
+	}
+	results := parallel.MapOrdered(cfg.Workers, cfg.NumDFGs, func(i int) genResult {
+		rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, i)))
 		g := dfg.Random(rng, cfg.DFG, dfgName(i))
-		ds.Stats.Generated++
 		sample, ok := labelOne(ar, g, cfg, rng)
-		if !ok {
+		return genResult{sample: sample, mapped: ok}
+	})
+
+	ds := &Dataset{}
+	for _, r := range results {
+		ds.Stats.Generated++
+		if !r.mapped {
 			continue
 		}
 		ds.Stats.Mapped++
-		if sample != nil {
-			ds.Samples = append(ds.Samples, *sample)
+		if r.sample != nil {
+			ds.Samples = append(ds.Samples, *r.sample)
 			ds.Stats.Admitted++
 		}
 	}

@@ -3,6 +3,7 @@ package traingen
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -54,6 +55,31 @@ func TestGenerateDeterministic(t *testing.T) {
 	b := Generate(ar, quickConfig(6, 42))
 	if len(a.Samples) != len(b.Samples) || a.Stats != b.Stats {
 		t.Fatalf("same seed diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestGenerateWorkerCountInvariant(t *testing.T) {
+	// The dataset — sample order, content and stats — must be identical at
+	// every worker count: each DFG's stream is derived from (Seed, index),
+	// never from a shared rng.
+	ar := arch.NewBaseline4x4()
+	serialCfg := quickConfig(10, 7)
+	serialCfg.Workers = 1
+	serial := Generate(ar, serialCfg)
+
+	for _, workers := range []int{2, 8} {
+		cfg := quickConfig(10, 7)
+		cfg.Workers = workers
+		got := Generate(ar, cfg)
+		if got.Stats != serial.Stats {
+			t.Fatalf("workers=%d stats diverged: %+v vs %+v", workers, got.Stats, serial.Stats)
+		}
+		if !reflect.DeepEqual(got.Samples, serial.Samples) {
+			t.Fatalf("workers=%d samples diverged from serial run", workers)
+		}
+	}
+	if serial.Stats.Generated != 10 {
+		t.Fatalf("generated = %d", serial.Stats.Generated)
 	}
 }
 
