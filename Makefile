@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: build test bench examples figures vet fuzz clean
+.PHONY: build test bench examples figures serve vet fuzz clean
 
 build:
 	go build ./...
@@ -26,6 +26,11 @@ examples:
 # Regenerate every figure with the quick profile; JSON+SVG land in results/.
 figures:
 	go run ./cmd/lisa-bench -exp all -out results -shapes
+
+# Start the mapping-as-a-service daemon on :8080 (see README "Mapping as a
+# service"); pass MODELS=dir to pre-load lisa-train model files.
+serve:
+	go run ./cmd/lisa-serve -addr :8080 $(if $(MODELS),-models $(MODELS))
 
 fuzz:
 	go test -fuzz FuzzParseDOT -fuzztime 30s ./internal/dfg/

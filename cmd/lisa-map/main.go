@@ -7,7 +7,8 @@
 //	lisa-map -kernel syr2k -arch cgra-4x4-lessroute -alg sa -seed 3
 //	lisa-map -kernel doitgen -arch systolic-5x5 -alg ilp
 //
-// Algorithms: lisa (label-aware SA, default), sa, sa-rp, sa-m, partial, ilp.
+// Algorithms: lisa (label-aware SA, default), sa, sa-rp, sa-m, partial,
+// greedy, ilp. The CLI exits nonzero when no legal mapping is found.
 // Without -model, the label-using engines fall back to the §V-B label
 // initialization; pass a model trained by lisa-train for GNN-derived labels.
 package main
@@ -23,6 +24,7 @@ import (
 	lisa "github.com/lisa-go/lisa"
 	"github.com/lisa-go/lisa/internal/arch"
 	"github.com/lisa-go/lisa/internal/attr"
+	"github.com/lisa-go/lisa/internal/engine"
 	"github.com/lisa-go/lisa/internal/gnn"
 	"github.com/lisa-go/lisa/internal/ilp"
 	"github.com/lisa-go/lisa/internal/kernels"
@@ -94,32 +96,35 @@ func main() {
 		g = dfg.Unroll(g, *unroll)
 	}
 
-	var res mapper.Result
-	switch {
-	case *alg == "ilp":
-		res = ilp.Map(ar, g, ilp.Options{TimeLimitPerII: *ilpTime})
-	case *alg == "greedy":
-		res = mapper.MapGreedy(ar, g, mapper.Options{})
-	default:
-		var lbl *labels.Labels
-		if *modelPath != "" {
-			f, err := os.Open(*modelPath)
-			if err != nil {
-				fatal(err)
-			}
-			model, err := gnn.Load(f, gnn.NewModel(rand.New(rand.NewSource(1)), ar.Name()))
-			f.Close()
-			if err != nil {
-				fatal(err)
-			}
-			if model.ArchName != ar.Name() {
-				fmt.Fprintf(os.Stderr, "warning: model trained for %s, mapping on %s\n",
-					model.ArchName, ar.Name())
-			}
-			lbl = model.Predict(attr.Generate(g))
+	// Engine dispatch is shared with lisa-serve (internal/engine), so the
+	// CLI and the service resolve a request identically.
+	eng, err := engine.Parse(*alg)
+	if err != nil {
+		fatal(err)
+	}
+	var lbl *labels.Labels
+	if *modelPath != "" && eng != engine.ILP && eng != engine.Greedy {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(err)
 		}
-		res = mapper.Map(ar, g, mapper.Algorithm(*alg), lbl,
-			mapper.Options{Seed: *seed, MaxMoves: *moves})
+		model, err := gnn.Load(f, gnn.NewModel(rand.New(rand.NewSource(1)), ar.Name()))
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if model.ArchName != ar.Name() {
+			fmt.Fprintf(os.Stderr, "warning: model trained for %s, mapping on %s\n",
+				model.ArchName, ar.Name())
+		}
+		lbl = model.Predict(attr.Generate(g))
+	}
+	res, err := engine.Map(ar, g, eng, lbl, engine.Options{
+		Map: mapper.Options{Seed: *seed, MaxMoves: *moves},
+		ILP: ilp.Options{TimeLimitPerII: *ilpTime},
+	})
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Print(lisa.Describe(ar, g, &res))

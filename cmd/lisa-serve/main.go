@@ -1,0 +1,116 @@
+// Command lisa-serve runs the mapping-as-a-service daemon: a stdlib-only
+// HTTP/JSON server with pre-loaded (or lazily trained) per-architecture GNN
+// models, a content-addressed result cache with singleflight deduplication,
+// an admission-controlled worker pool, and request metrics.
+//
+// Usage:
+//
+//	lisa-serve -addr :8080 -models ./models        (offline-trained models)
+//	lisa-serve -addr :8080 -train                  (train on first request)
+//
+// Endpoints:
+//
+//	POST /v1/map      {"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7}
+//	GET  /v1/archs    capability discovery: targets + model readiness
+//	GET  /v1/kernels  the built-in PolyBench kernels
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /metrics     request counts, cache hit ratio, latency histograms
+//
+// SIGINT/SIGTERM drains: the listener stops accepting, in-flight mappings
+// finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/gnn"
+	"github.com/lisa-go/lisa/internal/labels"
+	"github.com/lisa-go/lisa/internal/mapper"
+	"github.com/lisa-go/lisa/internal/registry"
+	"github.com/lisa-go/lisa/internal/service"
+	"github.com/lisa-go/lisa/internal/traingen"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelsDir := flag.String("models", "", "directory of lisa-train model files (*.json) to pre-load")
+	train := flag.Bool("train", true, "train a model on demand for targets without a pre-loaded one")
+	workers := flag.Int("workers", 0, "concurrent mapping jobs (0 = all CPUs)")
+	queue := flag.Int("queue", 64, "queued mapping jobs beyond the workers before requests get 429")
+	cacheEntries := flag.Int("cache", 4096, "result-cache entries (LRU)")
+	moves := flag.Int("moves", 2400, "default SA movement budget per II")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request mapping deadline")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on the per-request deadline")
+	trainDFGs := flag.Int("train-dfgs", 36, "random DFGs per on-demand training run")
+	trainEpochs := flag.Int("train-epochs", 60, "epochs per on-demand training run")
+	seed := flag.Int64("train-seed", 1, "seed for on-demand training")
+	flag.Parse()
+
+	reg := registry.New(registry.Config{
+		TrainGen: traingen.Config{
+			NumDFGs:    *trainDFGs,
+			Iterations: 2,
+			DFG:        dfg.DefaultRandomConfig(),
+			MapOpts:    mapper.Options{MaxMoves: 700},
+			Filter:     labels.DefaultFilterConfig(),
+		},
+		TrainCfg:      gnn.TrainConfig{Epochs: *trainEpochs, LR: 0.003, WeightDecay: 0.0005},
+		Seed:          *seed,
+		TrainOnDemand: *train,
+	})
+	if *modelsDir != "" {
+		names, err := reg.LoadDir(*modelsDir)
+		if err != nil {
+			log.Fatalf("lisa-serve: loading models from %s: %v", *modelsDir, err)
+		}
+		log.Printf("loaded %d model(s) from %s: %v", len(names), *modelsDir, names)
+	}
+
+	svc := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheEntries,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MapOpts:         mapper.Options{MaxMoves: *moves},
+	}, reg)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("lisa-serve listening on %s (workers=%d queue=%d cache=%d train-on-demand=%v)",
+		*addr, *workers, *queue, *cacheEntries, *train)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("lisa-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("lisa-serve: draining ...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *maxDeadline+10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("lisa-serve: shutdown: %v", err)
+	}
+	svc.Close()
+	fmt.Println("lisa-serve: drained, bye")
+}

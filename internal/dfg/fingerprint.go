@@ -1,0 +1,49 @@
+package dfg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCanonical writes a canonical byte encoding of g's mapping-relevant
+// structure: op kinds in node-index order and edges in edge-index order.
+// Node and graph names are excluded — a mapping result (per-node PE/time
+// arrays, per-edge routes) depends only on indices and op kinds, so two
+// graphs that differ only in names canonicalize identically. Index order is
+// preserved rather than sorted because result arrays are index-addressed:
+// reordering nodes or edges yields a genuinely different response body.
+func (g *Graph) WriteCanonical(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "dfg/v1 n=%d e=%d\n", len(g.Nodes), len(g.Edges)); err != nil {
+		return err
+	}
+	for i, n := range g.Nodes {
+		if _, err := fmt.Fprintf(w, "n%d %s\n", i, n.Op); err != nil {
+			return err
+		}
+	}
+	for i, e := range g.Edges {
+		if _, err := fmt.Fprintf(w, "e%d %d>%d\n", i, e.From, e.To); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns the hex SHA-256 of the canonical encoding — the
+// content address of the graph's structure.
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	g.WriteCanonical(h) // hash.Hash never errors
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CanonicalString returns the canonical encoding as a string (for tests and
+// debugging cache keys).
+func (g *Graph) CanonicalString() string {
+	var b strings.Builder
+	g.WriteCanonical(&b)
+	return b.String()
+}

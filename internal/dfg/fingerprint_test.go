@@ -1,0 +1,68 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func fpGraph(name string, nodeNames [2]string) *Graph {
+	g := New(name)
+	a := g.AddNode(nodeNames[0], OpLoad)
+	b := g.AddNode(nodeNames[1], OpAdd)
+	g.AddEdge(a, b)
+	return g
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a := fpGraph("one", [2]string{"x", "y"})
+	b := fpGraph("two", [2]string{"p", "q"})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on node/graph names")
+	}
+}
+
+func TestFingerprintSeesStructure(t *testing.T) {
+	a := fpGraph("g", [2]string{"x", "y"})
+
+	// Different op kind.
+	b := New("g")
+	n0 := b.AddNode("x", OpLoad)
+	n1 := b.AddNode("y", OpMul)
+	b.AddEdge(n0, n1)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint blind to op kinds")
+	}
+
+	// Extra edge.
+	c := New("g")
+	n0 = c.AddNode("x", OpLoad)
+	n1 = c.AddNode("y", OpAdd)
+	c.AddEdge(n0, n1)
+	c.AddEdge(n0, n1)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("fingerprint blind to edge multiplicity")
+	}
+
+	// Node order matters: result arrays are index-addressed.
+	d := New("g")
+	n1 = d.AddNode("y", OpAdd)
+	n0 = d.AddNode("x", OpLoad)
+	d.AddEdge(n0, n1)
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("fingerprint blind to node order")
+	}
+}
+
+func TestCanonicalStringShape(t *testing.T) {
+	g := fpGraph("g", [2]string{"x", "y"})
+	s := g.CanonicalString()
+	if !strings.HasPrefix(s, "dfg/v1 n=2 e=1\n") {
+		t.Fatalf("canonical header wrong: %q", s)
+	}
+	if strings.Contains(s, "x") || strings.Contains(s, "g") && strings.Contains(s, "\ng\n") {
+		t.Fatalf("canonical form leaks names: %q", s)
+	}
+	if g.CanonicalString() != s {
+		t.Fatal("canonical encoding not stable across calls")
+	}
+}

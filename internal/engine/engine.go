@@ -1,0 +1,87 @@
+// Package engine is the single dispatch point from an engine name
+// (lisa|sa|sa-rp|sa-m|partial|greedy|ilp) to a mapping run. The lisa-map
+// CLI and the lisa-serve daemon both resolve requests through this package,
+// so the set of engines and the way each one is invoked cannot drift
+// between the two front ends.
+package engine
+
+import (
+	"fmt"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/ilp"
+	"github.com/lisa-go/lisa/internal/labels"
+	"github.com/lisa-go/lisa/internal/mapper"
+)
+
+// Name identifies a mapping engine.
+type Name string
+
+// The seven engines exposed by the CLIs and the service.
+const (
+	LISA    Name = "lisa"    // full label-aware SA (Algorithm 1)
+	SA      Name = "sa"      // vanilla simulated annealing
+	SARP    Name = "sa-rp"   // SA + GNN routing priority (Fig. 12 ablation)
+	SAM     Name = "sa-m"    // SA with 10x movements (Fig. 13 ablation)
+	Partial Name = "partial" // labels seed the initial mapping only
+	Greedy  Name = "greedy"  // deterministic list scheduling
+	ILP     Name = "ilp"     // exact branch-and-bound mapper
+)
+
+// Names lists every engine in presentation order.
+func Names() []string {
+	return []string{"lisa", "sa", "sa-rp", "sa-m", "partial", "greedy", "ilp"}
+}
+
+// Parse validates an engine name from a flag or request field.
+func Parse(s string) (Name, error) {
+	for _, n := range Names() {
+		if s == n {
+			return Name(s), nil
+		}
+	}
+	return "", fmt.Errorf("engine: unknown engine %q (have %v)", s, Names())
+}
+
+// UsesLabels reports whether the engine consumes GNN-predicted labels.
+// Label-using engines fall back to the §V-B initialization when mapped
+// without a model.
+func (n Name) UsesLabels() bool {
+	switch n {
+	case LISA, SARP, Partial:
+		return true
+	}
+	return false
+}
+
+// Deterministic reports whether the engine's result is a pure function of
+// (DFG, architecture, options, seed). The SA family and greedy qualify; the
+// ILP mapper's outcome depends on its wall-clock time budget.
+func (n Name) Deterministic() bool {
+	return n != ILP
+}
+
+// Options carries the budgets for both engine families; only the half
+// matching the selected engine is consulted.
+type Options struct {
+	Map mapper.Options // SA-family and greedy budgets
+	ILP ilp.Options    // exact-mapper limits
+}
+
+// Map runs the named engine for g on ar. lbl supplies GNN labels for the
+// label-using engines and may be nil (§V-B fallback); it is ignored by the
+// others. The only error is an unknown engine name, so callers that parsed
+// the name with Parse can ignore it.
+func Map(ar arch.Arch, g *dfg.Graph, eng Name, lbl *labels.Labels, opts Options) (mapper.Result, error) {
+	switch eng {
+	case ILP:
+		return ilp.Map(ar, g, opts.ILP), nil
+	case Greedy:
+		return mapper.MapGreedy(ar, g, opts.Map), nil
+	case LISA, SA, SARP, SAM, Partial:
+		return mapper.Map(ar, g, mapper.Algorithm(eng), lbl, opts.Map), nil
+	default:
+		return mapper.Result{}, fmt.Errorf("engine: unknown engine %q (have %v)", eng, Names())
+	}
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/ilp"
+	"github.com/lisa-go/lisa/internal/kernels"
+	"github.com/lisa-go/lisa/internal/mapper"
+)
+
+func TestParseAcceptsEveryName(t *testing.T) {
+	for _, s := range Names() {
+		n, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if string(n) != s {
+			t.Fatalf("Parse(%q) = %q", s, n)
+		}
+	}
+	if _, err := Parse("annealer-9000"); err == nil {
+		t.Fatal("Parse accepted an unknown engine")
+	}
+	if _, err := Parse(""); err == nil {
+		t.Fatal("Parse accepted the empty string")
+	}
+}
+
+func TestUsesLabels(t *testing.T) {
+	want := map[Name]bool{
+		LISA: true, SARP: true, Partial: true,
+		SA: false, SAM: false, Greedy: false, ILP: false,
+	}
+	for n, w := range want {
+		if n.UsesLabels() != w {
+			t.Errorf("%s.UsesLabels() = %v, want %v", n, !w, w)
+		}
+	}
+}
+
+// Every engine must produce a verifiable mapping for gemm on the baseline
+// CGRA through the shared dispatch, and the SA-family results must be
+// identical to calling the mapper directly — the no-drift guarantee.
+func TestMapDispatchMatchesDirectCalls(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	opts := Options{
+		Map: mapper.Options{Seed: 3, MaxMoves: 1600},
+		ILP: ilp.Options{TimeLimitPerII: 2 * time.Second, MaxCutRounds: 12, MaxVars: 9000, MaxII: 8},
+	}
+	for _, eng := range Names() {
+		n, err := Parse(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Map(ar, g, n, nil, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if !res.OK {
+			t.Fatalf("%s: failed to map gemm on cgra-4x4", eng)
+		}
+		if err := mapper.Verify(ar, g, &res); err != nil {
+			t.Fatalf("%s: invalid mapping: %v", eng, err)
+		}
+		if n == ILP || n == Greedy {
+			continue
+		}
+		direct := mapper.Map(ar, g, mapper.Algorithm(n), nil, opts.Map)
+		res.Duration, direct.Duration = 0, 0
+		if !reflect.DeepEqual(res, direct) {
+			t.Fatalf("%s: dispatch result differs from direct mapper.Map", eng)
+		}
+	}
+}
+
+func TestMapRejectsUnknownEngine(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	if _, err := Map(ar, g, Name("nope"), nil, Options{}); err == nil {
+		t.Fatal("Map accepted an unknown engine instead of returning an error")
+	}
+}

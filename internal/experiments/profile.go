@@ -11,9 +11,7 @@
 package experiments
 
 import (
-	"math/rand"
 	"sort"
-	"sync"
 	"time"
 
 	"github.com/lisa-go/lisa/internal/arch"
@@ -24,6 +22,7 @@ import (
 	"github.com/lisa-go/lisa/internal/labels"
 	"github.com/lisa-go/lisa/internal/mapper"
 	"github.com/lisa-go/lisa/internal/parallel"
+	"github.com/lisa-go/lisa/internal/registry"
 	"github.com/lisa-go/lisa/internal/traingen"
 )
 
@@ -98,71 +97,56 @@ func Paper() Profile {
 }
 
 // Context caches trained GNN models per architecture so that all figures
-// share one training run per target, as the paper does. It is safe for
-// concurrent use: grid cells that need the same accelerator block on a
-// per-architecture once and see exactly one training run.
+// share one training run per target, as the paper does. It is a thin
+// wrapper over the shared registry.Registry (also used by lisa-serve): grid
+// cells that need the same accelerator block on a per-architecture once and
+// see exactly one training run.
 type Context struct {
 	Profile Profile
 
-	mu     sync.Mutex
-	models map[string]*modelEntry
-}
-
-// modelEntry is the per-architecture cache slot. The once gates training so
-// concurrent ModelFor calls for one target train exactly one model.
-type modelEntry struct {
-	once  sync.Once
-	model *gnn.Model
-	stats traingen.Stats
+	reg *registry.Registry
 }
 
 // NewContext creates a fresh experiment context.
 func NewContext(p Profile) *Context {
 	return &Context{
 		Profile: p,
-		models:  make(map[string]*modelEntry),
+		reg: registry.New(registry.Config{
+			TrainGen:      p.TrainGen,
+			TrainCfg:      p.TrainCfg,
+			Seed:          p.Seed,
+			Workers:       p.Workers,
+			TrainOnDemand: true,
+		}),
 	}
 }
 
-// entryFor returns (allocating if needed) the cache slot for an
-// architecture name.
-func (c *Context) entryFor(name string) *modelEntry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.models[name]
-	if !ok {
-		e = &modelEntry{}
-		c.models[name] = e
-	}
-	return e
-}
+// Registry exposes the underlying model registry (for pre-seeding with
+// offline-trained models before running figures).
+func (c *Context) Registry() *registry.Registry { return c.reg }
 
 // ModelFor returns the trained GNN model for ar, training it on first use
 // (training-data generation + four-network training, §V and §IV). Safe to
 // call from concurrent grid cells; the model for each architecture is
 // trained exactly once.
 func (c *Context) ModelFor(ar arch.Arch) *gnn.Model {
-	e := c.entryFor(ar.Name())
-	e.once.Do(func() {
-		cfg := c.Profile.TrainGen
-		cfg.Seed = c.Profile.Seed
-		if cfg.Workers == 0 {
-			cfg.Workers = c.Profile.Workers
-		}
-		ds := traingen.Generate(ar, cfg)
-		m := gnn.NewModel(rand.New(rand.NewSource(c.Profile.Seed)), ar.Name())
-		m.Train(ds.Samples, c.Profile.TrainCfg)
-		e.model = m
-		e.stats = ds.Stats
-	})
-	return e.model
+	m, err := c.reg.ModelFor(ar)
+	if err != nil {
+		// The context always permits on-demand training, so an error here
+		// means the registry contract itself is broken — fail loudly.
+		panic("experiments: " + err.Error())
+	}
+	return m
 }
 
 // TrainStats reports the dataset-generation stats behind ar's cached model,
 // training it on first use like ModelFor.
 func (c *Context) TrainStats(ar arch.Arch) traingen.Stats {
-	c.ModelFor(ar)
-	return c.entryFor(ar.Name()).stats
+	stats, err := c.reg.StatsFor(ar)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return stats
 }
 
 // Method names a mapping approach in experiment output.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/lisa-go/lisa/internal/attr"
 	"github.com/lisa-go/lisa/internal/tensor"
 )
 
@@ -64,7 +65,11 @@ func (m *Model) Save(w io.Writer) error {
 	return enc.Encode(&f)
 }
 
-// Load reads a model saved by Save into a freshly initialized Model.
+// Load reads a model saved by Save into a freshly initialized Model. Every
+// tensor in the file is validated against the seed model — shape, payload
+// length, no missing and no unknown weights — and the scale vectors against
+// the attribute dimensionality, before any weight is copied: a corrupt or
+// foreign model file is rejected whole and leaves seedModel untouched.
 func Load(r io.Reader, seedModel *Model) (*Model, error) {
 	var f modelFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
@@ -73,13 +78,16 @@ func Load(r io.Reader, seedModel *Model) (*Model, error) {
 	if f.Format != modelFormat {
 		return nil, fmt.Errorf("gnn: unsupported model format %d", f.Format)
 	}
-	m := seedModel
-	m.ArchName = f.ArchName
-	m.NodeScale = f.NodeScale
-	m.EdgeScale = f.EdgeScale
-	m.DummyScale = f.DummyScale
-	m.ASAPScale = f.ASAPScale
-	for name, t := range m.namedWeights() {
+	want := seedModel.namedWeights()
+	for name, src := range f.Weights {
+		if _, ok := want[name]; !ok {
+			return nil, fmt.Errorf("gnn: model file has unknown weight %q", name)
+		}
+		if src == nil {
+			return nil, fmt.Errorf("gnn: model file weight %q is null", name)
+		}
+	}
+	for name, t := range want {
 		src, ok := f.Weights[name]
 		if !ok {
 			return nil, fmt.Errorf("gnn: model file missing weight %q", name)
@@ -88,7 +96,34 @@ func Load(r io.Reader, seedModel *Model) (*Model, error) {
 			return nil, fmt.Errorf("gnn: weight %q shape %dx%d, want %dx%d",
 				name, src.Rows, src.Cols, t.Rows, t.Cols)
 		}
-		copy(t.Data, src.Data)
+		if len(src.Data) != t.Rows*t.Cols {
+			return nil, fmt.Errorf("gnn: weight %q has %d values, want %d",
+				name, len(src.Data), t.Rows*t.Cols)
+		}
+	}
+	for scale, dim := range map[string]struct {
+		got  int
+		want int
+	}{
+		"nodeScale":  {len(f.NodeScale), attr.NodeAttrDim},
+		"edgeScale":  {len(f.EdgeScale), attr.EdgeAttrDim},
+		"dummyScale": {len(f.DummyScale), attr.DummyAttrDim},
+	} {
+		// nil means "unscaled" (an untrained model); anything else must
+		// match the attribute dimensionality exactly.
+		if dim.got != 0 && dim.got != dim.want {
+			return nil, fmt.Errorf("gnn: %s has %d columns, want %d", scale, dim.got, dim.want)
+		}
+	}
+
+	m := seedModel
+	m.ArchName = f.ArchName
+	m.NodeScale = f.NodeScale
+	m.EdgeScale = f.EdgeScale
+	m.DummyScale = f.DummyScale
+	m.ASAPScale = f.ASAPScale
+	for name, t := range want {
+		copy(t.Data, f.Weights[name].Data)
 	}
 	return m, nil
 }

@@ -1,0 +1,120 @@
+package gnn
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// savedModelFile trains a tiny model, saves it, and returns the decoded
+// file for targeted corruption.
+func savedModelFile(t *testing.T) *modelFile {
+	t.Helper()
+	m := NewModel(rand.New(rand.NewSource(4)), "cgra-4x4")
+	s := syntheticSample(3)
+	m.Train([]Sample{s}, TrainConfig{Epochs: 2, LR: 0.01})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f modelFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	return &f
+}
+
+func loadFrom(t *testing.T, f *modelFile) error {
+	t.Helper()
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(bytes.NewReader(b), NewModel(rand.New(rand.NewSource(1)), "x"))
+	return err
+}
+
+func TestLoadRejectsCorruptModelFiles(t *testing.T) {
+	t.Run("truncated weight data", func(t *testing.T) {
+		f := savedModelFile(t)
+		w := f.Weights["order.Out"]
+		w.Data = w.Data[:len(w.Data)-1]
+		if err := loadFrom(t, f); err == nil || !strings.Contains(err.Error(), "values") {
+			t.Fatalf("truncated data accepted (err=%v)", err)
+		}
+	})
+	t.Run("oversized weight data", func(t *testing.T) {
+		f := savedModelFile(t)
+		w := f.Weights["same.W1"]
+		w.Data = append(w.Data, 0.5)
+		if err := loadFrom(t, f); err == nil {
+			t.Fatal("oversized data accepted")
+		}
+	})
+	t.Run("wrong shape", func(t *testing.T) {
+		f := savedModelFile(t)
+		f.Weights["order.W0"].Rows++
+		if err := loadFrom(t, f); err == nil || !strings.Contains(err.Error(), "shape") {
+			t.Fatalf("foreign shape accepted (err=%v)", err)
+		}
+	})
+	t.Run("missing weight", func(t *testing.T) {
+		f := savedModelFile(t)
+		delete(f.Weights, "temporal.W2")
+		if err := loadFrom(t, f); err == nil || !strings.Contains(err.Error(), "missing") {
+			t.Fatalf("missing weight accepted (err=%v)", err)
+		}
+	})
+	t.Run("unknown extra weight", func(t *testing.T) {
+		f := savedModelFile(t)
+		f.Weights["trojan.W"] = &tensorFile{Rows: 1, Cols: 1, Data: []float64{1}}
+		if err := loadFrom(t, f); err == nil || !strings.Contains(err.Error(), "unknown") {
+			t.Fatalf("unknown weight accepted (err=%v)", err)
+		}
+	})
+	t.Run("null weight", func(t *testing.T) {
+		f := savedModelFile(t)
+		f.Weights["order.Out"] = nil
+		if err := loadFrom(t, f); err == nil {
+			t.Fatal("null weight accepted")
+		}
+	})
+	t.Run("bad scale length", func(t *testing.T) {
+		f := savedModelFile(t)
+		f.NodeScale = f.NodeScale[:2]
+		if err := loadFrom(t, f); err == nil || !strings.Contains(err.Error(), "nodeScale") {
+			t.Fatalf("bad scale length accepted (err=%v)", err)
+		}
+	})
+	t.Run("intact file still loads", func(t *testing.T) {
+		if err := loadFrom(t, savedModelFile(t)); err != nil {
+			t.Fatalf("intact file rejected: %v", err)
+		}
+	})
+}
+
+// A rejected load must leave the seed model untouched — no partial copies.
+func TestLoadFailureLeavesSeedModelUntouched(t *testing.T) {
+	f := savedModelFile(t)
+	f.Weights["temporal.W2"].Rows++ // invalid, but order.* weights still match
+
+	seed := NewModel(rand.New(rand.NewSource(7)), "pristine")
+	before := append([]float64(nil), seed.Order.W0.Data...)
+	b, _ := json.Marshal(f)
+	if _, err := Load(bytes.NewReader(b), seed); err == nil {
+		t.Fatal("invalid file accepted")
+	}
+	if seed.ArchName != "pristine" {
+		t.Fatal("failed Load overwrote ArchName")
+	}
+	for i, v := range seed.Order.W0.Data {
+		if v != before[i] {
+			t.Fatal("failed Load partially copied weights into the seed model")
+		}
+	}
+	if seed.NodeScale != nil {
+		t.Fatal("failed Load set scale vectors on the seed model")
+	}
+}

@@ -1,0 +1,84 @@
+package mapper
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// resultJSON is the wire schema of a Result — the cache value format of
+// lisa-serve and the payload of its /v1/map responses. Every field is a
+// pure function of (DFG, architecture, engine, options, seed) except
+// DurationNS, which is wall-clock; serialization keeps it (so a round trip
+// is lossless) and services that need byte-stable bodies zero it first.
+type resultJSON struct {
+	OK          bool    `json:"ok"`
+	II          int     `json:"ii"`
+	PE          []int   `json:"pe,omitempty"`
+	Time        []int   `json:"time,omitempty"`
+	EdgeHops    []int   `json:"edgeHops,omitempty"`
+	Routes      [][]int `json:"routes,omitempty"`
+	RoutingCost int     `json:"routingCost"`
+	Moves       int     `json:"moves"`
+	DurationNS  int64   `json:"durationNs"`
+	TriedIIs    []int   `json:"triedIIs,omitempty"`
+}
+
+// MarshalJSON encodes the result in the stable wire schema. Field order is
+// fixed by the schema struct, so equal results always produce equal bytes.
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		OK:          r.OK,
+		II:          r.II,
+		PE:          r.PE,
+		Time:        r.Time,
+		EdgeHops:    r.EdgeHops,
+		Routes:      r.Routes,
+		RoutingCost: r.RoutingCost,
+		Moves:       r.Moves,
+		DurationNS:  int64(r.Duration),
+		TriedIIs:    r.TriedIIs,
+	})
+}
+
+// UnmarshalJSON decodes a result written by MarshalJSON and sanity-checks
+// the cross-field invariants a legal payload must satisfy.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var f resultJSON
+	if err := json.Unmarshal(b, &f); err != nil {
+		return fmt.Errorf("mapper: decode result: %w", err)
+	}
+	if f.OK {
+		if f.II <= 0 {
+			return fmt.Errorf("mapper: decode result: ok with II=%d", f.II)
+		}
+		if len(f.PE) != len(f.Time) {
+			return fmt.Errorf("mapper: decode result: %d PEs for %d times", len(f.PE), len(f.Time))
+		}
+		if len(f.EdgeHops) != len(f.Routes) {
+			return fmt.Errorf("mapper: decode result: %d edge hops for %d routes", len(f.EdgeHops), len(f.Routes))
+		}
+	}
+	*r = Result{
+		OK:          f.OK,
+		II:          f.II,
+		PE:          f.PE,
+		Time:        f.Time,
+		EdgeHops:    f.EdgeHops,
+		Routes:      f.Routes,
+		RoutingCost: f.RoutingCost,
+		Moves:       f.Moves,
+		Duration:    time.Duration(f.DurationNS),
+		TriedIIs:    f.TriedIIs,
+	}
+	return nil
+}
+
+// Normalized returns the options with every zero knob replaced by its
+// default — the values the annealer actually runs with. Content-addressed
+// caching hashes normalized options so that "MaxMoves: 0" and
+// "MaxMoves: 2400" (the default) share a cache entry, as they share a
+// result.
+func (o Options) Normalized() Options {
+	return o.withDefaults()
+}

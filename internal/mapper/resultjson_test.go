@@ -1,0 +1,85 @@
+package mapper
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/kernels"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	res := Map(ar, g, AlgSA, nil, Options{Seed: 5, MaxMoves: 1600})
+	if !res.OK {
+		t.Fatal("gemm failed to map")
+	}
+
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatalf("round trip changed the result:\n got %+v\nwant %+v", back, res)
+	}
+
+	// Marshalling must be byte-stable: same result, same bytes.
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("re-marshalling a decoded result produced different bytes")
+	}
+}
+
+func TestResultJSONFailedRunRoundTrip(t *testing.T) {
+	res := Result{TriedIIs: []int{1, 2, 3}, Moves: 42, Duration: 1234}
+	b, err := json.Marshal(&res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatalf("round trip changed the failed result: got %+v want %+v", back, res)
+	}
+}
+
+func TestResultJSONRejectsInconsistentPayloads(t *testing.T) {
+	cases := []string{
+		`{"ok":true,"ii":0}`,
+		`{"ok":true,"ii":2,"pe":[1,2],"time":[0]}`,
+		`{"ok":true,"ii":2,"edgeHops":[1],"routes":[]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		var r Result
+		if err := json.Unmarshal([]byte(c), &r); err == nil {
+			t.Errorf("decoded inconsistent payload %s", c)
+		}
+	}
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	n := Options{Seed: 7}.Normalized()
+	d := DefaultOptions()
+	d.Seed = 7
+	if n != d {
+		t.Fatalf("Normalized() = %+v, want defaults with seed: %+v", n, d)
+	}
+	// Explicit knobs survive normalization.
+	o := Options{MaxMoves: 9, Cool: 0.5}.Normalized()
+	if o.MaxMoves != 9 || o.Cool != 0.5 {
+		t.Fatalf("Normalized clobbered explicit knobs: %+v", o)
+	}
+}

@@ -1,0 +1,67 @@
+package parallel
+
+import "sync"
+
+// Pool is the serving-side counterpart of ForEach: a fixed set of worker
+// goroutines draining a bounded queue. ForEach fans a known batch out and
+// joins; a Pool accepts work forever but refuses it when the queue is full,
+// which is exactly the admission-control contract a request handler needs —
+// the caller turns a refusal into backpressure (HTTP 429) instead of letting
+// latency grow without bound.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPool starts workers goroutines (<= 0 means one per CPU, as in ForEach)
+// behind a queue holding up to queue waiting tasks (minimum 0).
+func NewPool(workers, queue int) *Pool {
+	workers = Workers(workers)
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit offers fn to the pool. It returns false — without blocking —
+// when the queue is full or the pool is closed; fn will never run in that
+// case. On true, fn is guaranteed to run exactly once, even if the pool is
+// closed right after (Close drains the queue).
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops admission, runs every already-accepted task to completion,
+// and waits for the workers to exit. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

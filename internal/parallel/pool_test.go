@@ -1,0 +1,84 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEveryAcceptedTask(t *testing.T) {
+	p := NewPool(4, 16)
+	var ran atomic.Int64
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if p.TrySubmit(func() { ran.Add(1) }) {
+			accepted++
+		} else {
+			// Full queue: drain a moment and keep going.
+			time.Sleep(time.Millisecond)
+			i--
+		}
+	}
+	p.Close()
+	if int(ran.Load()) != accepted {
+		t.Fatalf("accepted %d tasks but ran %d", accepted, ran.Load())
+	}
+	if accepted != 100 {
+		t.Fatalf("only %d of 100 tasks were eventually accepted", accepted)
+	}
+}
+
+func TestPoolRefusesWhenQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if !p.TrySubmit(func() { close(started); <-block }) {
+		t.Fatal("first task refused")
+	}
+	<-started // worker is now busy; the queue slot is free
+	if !p.TrySubmit(func() {}) {
+		t.Fatal("queued task refused with an empty queue")
+	}
+	if p.TrySubmit(func() { t.Error("over-admitted task ran") }) {
+		t.Fatal("task accepted beyond the queue bound")
+	}
+	close(block)
+}
+
+func TestPoolCloseStopsAdmissionAndDrains(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		p.TrySubmit(func() { time.Sleep(time.Millisecond); ran.Add(1) })
+	}
+	p.Close()
+	if p.TrySubmit(func() { t.Error("task ran after Close") }) {
+		t.Fatal("TrySubmit accepted work after Close")
+	}
+	if ran.Load() == 0 {
+		t.Fatal("Close did not drain queued tasks")
+	}
+	p.Close() // idempotent
+}
+
+// Hammer TrySubmit against Close under the race detector: submissions must
+// either run or be refused, never panic on the closed channel.
+func TestPoolSubmitCloseRace(t *testing.T) {
+	p := NewPool(2, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.TrySubmit(func() {})
+			}
+		}()
+	}
+	time.Sleep(500 * time.Microsecond)
+	p.Close()
+	wg.Wait()
+}

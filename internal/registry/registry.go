@@ -1,0 +1,213 @@
+// Package registry caches one trained GNN model per architecture behind a
+// per-architecture sync.Once. It generalizes the experiment grid's
+// Context.ModelFor pattern so the long-lived serving daemon and the
+// experiment runners share one implementation: models can be pre-loaded
+// from disk at startup (offline training, the paper's intended deployment)
+// or trained lazily on first use, and concurrent callers for one target
+// always observe exactly one training run.
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/gnn"
+	"github.com/lisa-go/lisa/internal/traingen"
+)
+
+// Config sets the budgets used when a model must be trained on demand.
+type Config struct {
+	TrainGen traingen.Config // dataset generation (§V)
+	TrainCfg gnn.TrainConfig // four-network training (§IV)
+	Seed     int64
+	// Workers fans dataset generation out; 0 defers to TrainGen.Workers.
+	Workers int
+	// TrainOnDemand permits lazy training when no model was pre-loaded for
+	// a requested architecture. When false, ModelFor returns an error for
+	// such targets instead of spending minutes training inside a request.
+	TrainOnDemand bool
+}
+
+// Registry holds at most one model per architecture name.
+type Registry struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// entry is the per-architecture slot; once gates training so concurrent
+// ModelFor calls for one target resolve exactly one model.
+type entry struct {
+	once   sync.Once
+	model  *gnn.Model
+	stats  traingen.Stats
+	err    error
+	loaded bool // true when pre-loaded from disk rather than trained here
+}
+
+// New creates an empty registry.
+func New(cfg Config) *Registry {
+	return &Registry{cfg: cfg, entries: make(map[string]*entry)}
+}
+
+func (r *Registry) entryFor(name string) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		e = &entry{}
+		r.entries[name] = e
+	}
+	return e
+}
+
+// Put registers a pre-trained model under its architecture name. The first
+// resolution for a name wins: a Put before any ModelFor call pins the model;
+// a Put after the entry resolved is a no-op and returns false.
+func (r *Registry) Put(m *gnn.Model) bool {
+	e := r.entryFor(m.ArchName)
+	won := false
+	e.once.Do(func() {
+		r.mu.Lock()
+		e.model = m
+		e.loaded = true
+		r.mu.Unlock()
+		won = true
+	})
+	return won
+}
+
+// LoadFile reads one model file saved by lisa-train / gnn.Save and registers
+// it, returning the architecture name it serves.
+func (r *Registry) LoadFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	m, err := gnn.Load(f, gnn.NewModel(rand.New(rand.NewSource(1)), ""))
+	if err != nil {
+		return "", fmt.Errorf("registry: %s: %w", path, err)
+	}
+	if m.ArchName == "" {
+		return "", fmt.Errorf("registry: %s: model file names no architecture", path)
+	}
+	if !r.Put(m) {
+		return m.ArchName, fmt.Errorf("registry: %s: model for %q already registered", path, m.ArchName)
+	}
+	return m.ArchName, nil
+}
+
+// LoadDir registers every *.json model file in dir (the lisa-train output
+// convention) and returns the architecture names loaded, sorted. Files that
+// fail to parse or collide with an already-registered architecture abort the
+// load: a serving daemon must not come up half-configured.
+func (r *Registry) LoadDir(dir string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	var names []string
+	for _, path := range files {
+		name, err := r.LoadFile(path)
+		if err != nil {
+			return names, err
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Ready lists the architecture names whose model is already resolved,
+// sorted. Targets that would still need on-demand training are absent.
+func (r *Registry) Ready() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for name, e := range r.entries {
+		if e.model != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Has reports whether a resolved model exists for the architecture name.
+func (r *Registry) Has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	return ok && e.model != nil
+}
+
+// ModelFor returns the model for ar, training it on first use when the
+// config allows (training-data generation + four-network training, §V and
+// §IV). Safe for concurrent use; each architecture trains at most once, and
+// a disallowed lazy training reports an error without poisoning the slot.
+func (r *Registry) ModelFor(ar arch.Arch) (*gnn.Model, error) {
+	e := r.entryFor(ar.Name())
+	if !r.cfg.TrainOnDemand {
+		// Don't burn the once: a model may still be Put/loaded later.
+		r.mu.Lock()
+		m := e.model
+		r.mu.Unlock()
+		if m == nil {
+			return nil, fmt.Errorf("registry: no model loaded for %q and on-demand training is disabled", ar.Name())
+		}
+		return m, nil
+	}
+	e.once.Do(func() {
+		cfg := r.cfg.TrainGen
+		cfg.Seed = r.cfg.Seed
+		if cfg.Workers == 0 {
+			cfg.Workers = r.cfg.Workers
+		}
+		// An empty sample set leaves the model at its random init — the
+		// label engines degrade gracefully, matching the experiment grid's
+		// historical behavior under tiny smoke-test budgets.
+		ds := traingen.Generate(ar, cfg)
+		m := gnn.NewModel(rand.New(rand.NewSource(r.cfg.Seed)), ar.Name())
+		m.Train(ds.Samples, r.cfg.TrainCfg)
+		r.mu.Lock()
+		e.model, e.stats = m, ds.Stats
+		r.mu.Unlock()
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	r.mu.Lock()
+	m := e.model
+	r.mu.Unlock()
+	return m, nil
+}
+
+// StatsFor reports the dataset-generation stats behind ar's model, training
+// it on first use like ModelFor. Pre-loaded models carry no stats.
+func (r *Registry) StatsFor(ar arch.Arch) (traingen.Stats, error) {
+	if _, err := r.ModelFor(ar); err != nil {
+		return traingen.Stats{}, err
+	}
+	e := r.entryFor(ar.Name())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return e.stats, nil
+}
+
+// String summarizes the registry for logs.
+func (r *Registry) String() string {
+	names := r.Ready()
+	if len(names) == 0 {
+		return "registry: no models resolved"
+	}
+	return "registry: models for " + strings.Join(names, ", ")
+}

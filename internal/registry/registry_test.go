@@ -1,0 +1,148 @@
+package registry
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/gnn"
+	"github.com/lisa-go/lisa/internal/labels"
+	"github.com/lisa-go/lisa/internal/mapper"
+	"github.com/lisa-go/lisa/internal/traingen"
+)
+
+// quickCfg keeps on-demand training inside a test run.
+func quickCfg() Config {
+	return Config{
+		TrainGen: traingen.Config{
+			NumDFGs:    12,
+			Iterations: 2,
+			DFG:        dfg.DefaultRandomConfig(),
+			MapOpts:    mapper.Options{MaxMoves: 500},
+			Filter:     labels.DefaultFilterConfig(),
+		},
+		TrainCfg:      gnn.TrainConfig{Epochs: 2, LR: 0.003, WeightDecay: 0.0005},
+		Seed:          1,
+		TrainOnDemand: true,
+	}
+}
+
+func TestConcurrentModelForTrainsOnce(t *testing.T) {
+	r := New(quickCfg())
+	ar := arch.NewBaseline4x4()
+	const callers = 8
+	models := make([]*gnn.Model, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			m, err := r.ModelFor(ar)
+			if err != nil {
+				t.Errorf("ModelFor: %v", err)
+				return
+			}
+			models[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if models[i] != models[0] {
+			t.Fatal("concurrent ModelFor calls resolved different model instances")
+		}
+	}
+	if got := r.Ready(); len(got) != 1 || got[0] != ar.Name() {
+		t.Fatalf("Ready() = %v, want [%s]", got, ar.Name())
+	}
+	stats, err := r.StatsFor(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generated == 0 {
+		t.Fatal("StatsFor reports zero generated DFGs after training")
+	}
+}
+
+func TestPreloadedModelWinsOverTraining(t *testing.T) {
+	r := New(quickCfg())
+	ar := arch.NewBaseline4x4()
+	pre := gnn.NewModel(rand.New(rand.NewSource(9)), ar.Name())
+	if !r.Put(pre) {
+		t.Fatal("Put of a fresh architecture returned false")
+	}
+	if r.Put(pre) {
+		t.Fatal("second Put for the same architecture claimed to win")
+	}
+	m, err := r.ModelFor(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != pre {
+		t.Fatal("ModelFor trained a new model despite a pre-loaded one")
+	}
+}
+
+func TestTrainOnDemandDisabled(t *testing.T) {
+	cfg := quickCfg()
+	cfg.TrainOnDemand = false
+	r := New(cfg)
+	ar := arch.NewBaseline4x4()
+	if _, err := r.ModelFor(ar); err == nil {
+		t.Fatal("ModelFor trained with TrainOnDemand disabled")
+	}
+	// The failed lookup must not poison the slot for a later Put.
+	pre := gnn.NewModel(rand.New(rand.NewSource(9)), ar.Name())
+	if !r.Put(pre) {
+		t.Fatal("Put after a denied ModelFor returned false")
+	}
+	if m, err := r.ModelFor(ar); err != nil || m != pre {
+		t.Fatalf("ModelFor after Put = (%v, %v), want the pre-loaded model", m, err)
+	}
+}
+
+func TestLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"cgra-4x4", "cgra-8x8"} {
+		m := gnn.NewModel(rand.New(rand.NewSource(3)), name)
+		f, err := os.Create(filepath.Join(dir, name+".model.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Save(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	cfg := quickCfg()
+	cfg.TrainOnDemand = false
+	r := New(cfg)
+	names, err := r.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "cgra-4x4" || names[1] != "cgra-8x8" {
+		t.Fatalf("LoadDir = %v", names)
+	}
+	ar, _ := arch.ByName("cgra-4x4")
+	if _, err := r.ModelFor(ar); err != nil {
+		t.Fatalf("ModelFor after LoadDir: %v", err)
+	}
+	if !r.Has("cgra-8x8") || r.Has("systolic-5x5") {
+		t.Fatal("Has reports the wrong set of loaded models")
+	}
+}
+
+func TestLoadDirRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(quickCfg())
+	if _, err := r.LoadDir(dir); err == nil {
+		t.Fatal("LoadDir accepted a corrupt model file")
+	}
+}

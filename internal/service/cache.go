@@ -1,0 +1,136 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: canonical request key →
+// serialized response body, bounded by an LRU entry count. Values are the
+// exact bytes served on the original miss, so a hit is byte-identical to
+// the response the first requester saw — the determinism contract of
+// /v1/map (see hash.go for what the key covers).
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache creates a cache bounded to max entries (minimum 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key, refreshing its recency. The returned
+// slice is shared and must not be mutated.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Add stores body under key, evicting the least-recently-used entry when
+// the bound is exceeded. Re-adding an existing key refreshes its recency
+// but keeps the original body: results are content-addressed, so the first
+// bytes stored for a key are the bytes every later hit must see.
+func (c *Cache) Add(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flightGroup deduplicates concurrent identical requests (singleflight):
+// the first caller for a key becomes the leader and computes; followers
+// that arrive before the leader finishes block and receive the leader's
+// exact bytes. Entries are removed on completion, so later requests go
+// through the cache instead.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	body    []byte
+	status  int
+	err     error
+	waiters int // followers currently blocked on done (under flightGroup.mu)
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn once per key among concurrent callers. The boolean reports
+// whether this caller shared another caller's execution (true = follower).
+// cancel, when non-nil, lets a follower stop waiting early (e.g. its client
+// hung up); the leader always runs fn to completion so the result can be
+// cached for everyone else.
+func (g *flightGroup) do(key string, cancel <-chan struct{}, fn func() ([]byte, int, error)) (body []byte, status int, err error, shared bool) {
+	g.mu.Lock()
+	if call, ok := g.calls[key]; ok {
+		call.waiters++
+		g.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.body, call.status, call.err, true
+		case <-cancel:
+			return nil, 0, errCanceled, true
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	call.body, call.status, call.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.body, call.status, call.err, false
+}
+
+// waiting reports how many followers are blocked on key's in-flight call
+// (tests synchronize on this before releasing a gated leader).
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if call, ok := g.calls[key]; ok {
+		return call.waiters
+	}
+	return 0
+}

@@ -1,0 +1,29 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/engine"
+	"github.com/lisa-go/lisa/internal/mapper"
+)
+
+// cacheKey computes the content address of a mapping request: the hex
+// SHA-256 of a canonical encoding of everything the result is a function
+// of — the normalized DFG structure (names excluded, see dfg.WriteCanonical),
+// the architecture name, the engine, the *normalized* annealer options
+// (zero knobs resolved to their defaults, so "MaxMoves: 0" and the explicit
+// default share an entry), the seed, and the request deadline (a time
+// budget can cut the II sweep short, so different budgets may legitimately
+// produce different results and must not share an entry).
+func cacheKey(g *dfg.Graph, archName string, eng engine.Name, opts mapper.Options, deadlineMS int64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "lisa-serve/v1\narch=%s\nengine=%s\ndeadlineMs=%d\n", archName, eng, deadlineMS)
+	o := opts.Normalized()
+	fmt.Fprintf(h, "opts=seed:%d,maxMoves:%d,movesPerTemp:%d,initTemp:%g,cool:%g,alpha:%g,maxII:%d\n",
+		o.Seed, o.MaxMoves, o.MovesPerTemp, o.InitTemp, o.Cool, o.Alpha, o.MaxII)
+	g.WriteCanonical(h)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (inclusive, milliseconds) of the
+// per-engine latency histogram; the final +Inf bucket is implicit.
+var latencyBuckets = []int64{1, 5, 10, 50, 100, 500, 1000, 5000, 30000}
+
+// Metrics aggregates request-level counters for /metrics. All methods are
+// safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	start     time.Time
+	requests  map[string]int64 // per route
+	status    map[int]int64    // per HTTP status
+	inflight  int64            // /v1/map requests currently admitted
+	rejected  int64            // 429s from admission control
+	hits      int64            // cache hits
+	misses    int64            // cache misses (mapper actually ran)
+	coalesced int64            // followers served by a singleflight leader
+	engines   map[string]*engineStats
+}
+
+type engineStats struct {
+	count    int64
+	failures int64 // mapper returned OK=false
+	totalNS  int64
+	buckets  []int64 // len(latencyBuckets)+1, last = +Inf
+}
+
+// NewMetrics creates an empty metrics set anchored at now.
+func NewMetrics(now time.Time) *Metrics {
+	return &Metrics{
+		start:    now,
+		requests: make(map[string]int64),
+		status:   make(map[int]int64),
+		engines:  make(map[string]*engineStats),
+	}
+}
+
+// Request counts one request to a route with its response status.
+func (m *Metrics) Request(route string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[route]++
+	m.status[status]++
+}
+
+// InflightAdd moves the in-flight gauge by delta.
+func (m *Metrics) InflightAdd(delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight += delta
+}
+
+// Rejected counts one admission-control refusal.
+func (m *Metrics) Rejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected++
+}
+
+// CacheHit / CacheMiss / Coalesced classify how a /v1/map request was
+// answered: from the cache, by running the mapper, or by joining another
+// request's run.
+func (m *Metrics) CacheHit() { m.mu.Lock(); m.hits++; m.mu.Unlock() }
+
+func (m *Metrics) CacheMiss() { m.mu.Lock(); m.misses++; m.mu.Unlock() }
+
+func (m *Metrics) Coalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+
+// Mapped records one completed mapper invocation for an engine.
+func (m *Metrics) Mapped(eng string, ok bool, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.engines[eng]
+	if e == nil {
+		e = &engineStats{buckets: make([]int64, len(latencyBuckets)+1)}
+		m.engines[eng] = e
+	}
+	e.count++
+	if !ok {
+		e.failures++
+	}
+	e.totalNS += int64(elapsed)
+	ms := elapsed.Milliseconds()
+	slot := len(latencyBuckets)
+	for i, ub := range latencyBuckets {
+		if ms <= ub {
+			slot = i
+			break
+		}
+	}
+	e.buckets[slot]++
+}
+
+// Snapshot types mirror the /metrics JSON document.
+type (
+	// MetricsSnapshot is the full /metrics payload.
+	MetricsSnapshot struct {
+		UptimeSeconds float64                   `json:"uptimeSeconds"`
+		Requests      map[string]int64          `json:"requests"`
+		Status        map[string]int64          `json:"status"`
+		Inflight      int64                     `json:"inflight"`
+		Rejected      int64                     `json:"rejected"`
+		Cache         CacheSnapshot             `json:"cache"`
+		Engines       map[string]EngineSnapshot `json:"engines"`
+	}
+	// CacheSnapshot reports hit/miss/coalesced counts and the hit ratio.
+	CacheSnapshot struct {
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		Coalesced int64   `json:"coalesced"`
+		HitRatio  float64 `json:"hitRatio"`
+		Entries   int     `json:"entries"`
+	}
+	// EngineSnapshot reports one engine's invocation stats and latency
+	// histogram.
+	EngineSnapshot struct {
+		Count     int64            `json:"count"`
+		Failures  int64            `json:"failures"`
+		AvgMillis float64          `json:"avgMillis"`
+		Histogram []HistogramEntry `json:"histogram"`
+	}
+	// HistogramEntry is one latency bucket; Le is the inclusive upper
+	// bound in milliseconds, -1 for the +Inf bucket.
+	HistogramEntry struct {
+		Le    int64 `json:"leMillis"`
+		Count int64 `json:"count"`
+	}
+)
+
+// Snapshot captures the current counters. cacheEntries is supplied by the
+// caller (the cache owns its size); now supplies the uptime reference.
+func (m *Metrics) Snapshot(now time.Time, cacheEntries int) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		UptimeSeconds: now.Sub(m.start).Seconds(),
+		Requests:      make(map[string]int64, len(m.requests)),
+		Status:        make(map[string]int64, len(m.status)),
+		Inflight:      m.inflight,
+		Rejected:      m.rejected,
+		Cache: CacheSnapshot{
+			Hits:      m.hits,
+			Misses:    m.misses,
+			Coalesced: m.coalesced,
+			Entries:   cacheEntries,
+		},
+		Engines: make(map[string]EngineSnapshot, len(m.engines)),
+	}
+	if total := m.hits + m.misses + m.coalesced; total > 0 {
+		// Coalesced followers count as hits: the mapper did not run for them.
+		s.Cache.HitRatio = float64(m.hits+m.coalesced) / float64(total)
+	}
+	for route, n := range m.requests {
+		s.Requests[route] = n
+	}
+	for code, n := range m.status {
+		s.Status[statusKey(code)] = n
+	}
+	names := make([]string, 0, len(m.engines))
+	for name := range m.engines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := m.engines[name]
+		es := EngineSnapshot{Count: e.count, Failures: e.failures}
+		if e.count > 0 {
+			es.AvgMillis = float64(e.totalNS) / float64(e.count) / 1e6
+		}
+		for i, n := range e.buckets {
+			le := int64(-1)
+			if i < len(latencyBuckets) {
+				le = latencyBuckets[i]
+			}
+			es.Histogram = append(es.Histogram, HistogramEntry{Le: le, Count: n})
+		}
+		s.Engines[name] = es
+	}
+	return s
+}
+
+// statusKey renders an HTTP status as a JSON map key.
+func statusKey(code int) string {
+	const digits = "0123456789"
+	if code < 100 || code > 999 {
+		return "unknown"
+	}
+	return string([]byte{digits[code/100], digits[code/10%10], digits[code%10]})
+}

@@ -1,0 +1,491 @@
+// Package service is the mapping-as-a-service subsystem behind the
+// lisa-serve daemon. LISA's split — offline per-accelerator training,
+// cheap compile-time inference (§IV–V) — is exactly the shape of a
+// long-lived server: models are loaded (or trained) once per architecture
+// and every mapping request is a low-latency inference + annealing run.
+//
+// The server composes four pieces:
+//
+//   - a model registry (internal/registry) resolving one GNN model per
+//     architecture behind a per-architecture once;
+//   - a content-addressed result cache (cache.go): SHA-256 of the
+//     normalized request → the exact response bytes, LRU-bounded, with
+//     singleflight deduplication so N concurrent identical requests run
+//     the annealer once;
+//   - an admission-controlled worker pool (internal/parallel.Pool): a
+//     bounded queue that turns overload into HTTP 429 instead of latency;
+//   - request metrics (metrics.go) served as JSON on /metrics.
+//
+// Because mapping results are pure functions of (DFG, arch, engine,
+// options, seed) for the SA-family engines, a cache hit, a fresh run, and
+// a re-run after restart all return byte-identical bodies.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/attr"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/engine"
+	"github.com/lisa-go/lisa/internal/ilp"
+	"github.com/lisa-go/lisa/internal/kernels"
+	"github.com/lisa-go/lisa/internal/labels"
+	"github.com/lisa-go/lisa/internal/mapper"
+	"github.com/lisa-go/lisa/internal/parallel"
+	"github.com/lisa-go/lisa/internal/registry"
+)
+
+var (
+	errCanceled = errors.New("service: request canceled while waiting")
+	errBusy     = errors.New("service: mapping queue full")
+)
+
+// Config tunes the server. Zero values fall back to DefaultConfig.
+type Config struct {
+	// Workers bounds concurrent mapper invocations (<= 0: one per CPU).
+	Workers int
+	// QueueDepth bounds mapping jobs waiting behind the workers; a full
+	// queue turns into HTTP 429. Zero means the default; negative means no
+	// queue at all (a request is refused unless a worker is free).
+	QueueDepth int
+	// CacheEntries bounds the result cache (LRU).
+	CacheEntries int
+	// DefaultDeadline applies when a request names none; MaxDeadline caps
+	// what a request may ask for. Deadlines feed mapper.Options.TimeLimit.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxBodyBytes bounds the request body (DFG uploads).
+	MaxBodyBytes int64
+	// MapOpts is the server-side default annealing budget; requests may
+	// override MaxMoves and Seed.
+	MapOpts mapper.Options
+	// ILPOpts is the budget for engine=ilp requests.
+	ILPOpts ilp.Options
+}
+
+// DefaultConfig returns the serving defaults.
+func DefaultConfig() Config {
+	return Config{
+		QueueDepth:      64,
+		CacheEntries:    4096,
+		DefaultDeadline: 30 * time.Second,
+		MaxDeadline:     2 * time.Minute,
+		MaxBodyBytes:    4 << 20,
+		MapOpts:         mapper.DefaultOptions(),
+		ILPOpts:         ilp.DefaultOptions(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.QueueDepth == 0 {
+		c.QueueDepth = d.QueueDepth
+	} else if c.QueueDepth < 0 {
+		c.QueueDepth = -1 // parallel.NewPool clamps to an unbuffered queue
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = d.CacheEntries
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = d.DefaultDeadline
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = d.MaxDeadline
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if c.MapOpts == (mapper.Options{}) {
+		c.MapOpts = d.MapOpts
+	}
+	if c.ILPOpts == (ilp.Options{}) {
+		c.ILPOpts = d.ILPOpts
+	}
+	return c
+}
+
+// Server serves mapping requests. Create with New, mount Handler on an
+// http.Server, and Close on shutdown to drain in-flight mappings.
+type Server struct {
+	cfg     Config
+	reg     *registry.Registry
+	cache   *Cache
+	flight  *flightGroup
+	pool    *parallel.Pool
+	metrics *Metrics
+
+	mu       sync.Mutex
+	draining bool
+}
+
+// New builds a server over a model registry (which may have been pre-loaded
+// from a models directory).
+func New(cfg Config, reg *registry.Registry) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		reg:     reg,
+		cache:   NewCache(cfg.CacheEntries),
+		flight:  newFlightGroup(),
+		pool:    parallel.NewPool(cfg.Workers, cfg.QueueDepth),
+		metrics: NewMetrics(time.Now()),
+	}
+}
+
+// Metrics exposes the server's counters (the /metrics handler and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache exposes the result cache (tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Close stops admitting new mapping jobs and waits for accepted ones to
+// finish — the graceful-drain half of SIGTERM handling (the HTTP listener
+// itself is drained by http.Server.Shutdown).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.pool.Close()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/map", s.handleMap)
+	mux.HandleFunc("/v1/archs", s.handleArchs)
+	mux.HandleFunc("/v1/kernels", s.handleKernels)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// MapRequest is the POST /v1/map body. Exactly one of Kernel and DFG names
+// the graph; Engine defaults to "lisa", Seed to 1, Unroll to 1, MaxMoves to
+// the server default, DeadlineMs to the server default.
+type MapRequest struct {
+	Kernel     string          `json:"kernel,omitempty"`
+	DFG        json.RawMessage `json:"dfg,omitempty"`
+	Arch       string          `json:"arch"`
+	Engine     string          `json:"engine,omitempty"`
+	Seed       *int64          `json:"seed,omitempty"`
+	Unroll     int             `json:"unroll,omitempty"`
+	MaxMoves   int             `json:"maxMoves,omitempty"`
+	DeadlineMs int64           `json:"deadlineMs,omitempty"`
+	// Stats additionally computes the utilization report for OK mappings.
+	Stats bool `json:"stats,omitempty"`
+}
+
+// MapResponse is the POST /v1/map body on success. Every field is
+// deterministic for the SA-family engines, so identical requests always
+// receive byte-identical bodies; the X-Lisa-Cache header ("hit", "miss",
+// "coalesced") is the only part that varies.
+type MapResponse struct {
+	Key    string `json:"key"`
+	Arch   string `json:"arch"`
+	Engine string `json:"engine"`
+	Seed   int64  `json:"seed"`
+	Kernel string `json:"kernel,omitempty"`
+	Nodes  int    `json:"nodes"`
+	Edges  int    `json:"edges"`
+
+	Result      mapper.Result       `json:"result"`
+	Utilization *mapper.Utilization `json:"utilization,omitempty"`
+}
+
+// errorBody is every non-200 JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, route string, status int, format string, args ...any) {
+	s.metrics.Request(route, status)
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/map"
+	if r.Method != http.MethodPost {
+		s.fail(w, route, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.isDraining() {
+		s.fail(w, route, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.metrics.InflightAdd(1)
+	defer s.metrics.InflightAdd(-1)
+
+	var req MapRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, route, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	ar, ok := arch.ByName(req.Arch)
+	if !ok {
+		s.fail(w, route, http.StatusBadRequest, "unknown arch %q (have %v)", req.Arch, arch.Names())
+		return
+	}
+	eng := engine.Name("lisa")
+	if req.Engine != "" {
+		var err error
+		eng, err = engine.Parse(req.Engine)
+		if err != nil {
+			s.fail(w, route, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	g, err := requestGraph(&req)
+	if err != nil {
+		s.fail(w, route, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	seed := int64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	mapOpts := s.cfg.MapOpts
+	mapOpts.Seed = seed
+	if req.MaxMoves > 0 {
+		mapOpts.MaxMoves = req.MaxMoves
+	}
+	mapOpts.TimeLimit = deadline
+
+	key := cacheKey(g, ar.Name(), eng, mapOpts, deadline.Milliseconds())
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHit()
+		s.metrics.Request(route, http.StatusOK)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Lisa-Cache", "hit")
+		w.Write(body)
+		return
+	}
+
+	body, status, err, shared := s.flight.do(key, r.Context().Done(), func() ([]byte, int, error) {
+		return s.runMapping(key, &req, ar, g, eng, mapOpts)
+	})
+	switch {
+	case errors.Is(err, errCanceled):
+		// Client hung up while waiting on another request's run; nothing
+		// useful to write.
+		s.metrics.Request(route, http.StatusRequestTimeout)
+		return
+	case errors.Is(err, errBusy):
+		s.metrics.Rejected()
+		s.fail(w, route, http.StatusTooManyRequests, "mapping queue full, retry later")
+		return
+	case err != nil:
+		s.fail(w, route, status, "%v", err)
+		return
+	}
+	if shared {
+		s.metrics.Coalesced()
+	} else {
+		s.metrics.CacheMiss()
+	}
+	s.metrics.Request(route, http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	if shared {
+		w.Header().Set("X-Lisa-Cache", "coalesced")
+	} else {
+		w.Header().Set("X-Lisa-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+// runMapping is the singleflight leader body: admit into the worker pool,
+// run the engine, serialize, cache. It always runs to completion once
+// admitted so followers and the cache see the result even if the leading
+// client disconnects.
+func (s *Server) runMapping(key string, req *MapRequest, ar arch.Arch, g *dfg.Graph, eng engine.Name, mapOpts mapper.Options) ([]byte, int, error) {
+	var lbl *labels.Labels
+	if eng.UsesLabels() {
+		model, err := s.reg.ModelFor(ar)
+		if err != nil {
+			return nil, http.StatusServiceUnavailable, err
+		}
+		lbl = model.Predict(attr.Generate(g))
+	}
+
+	ilpOpts := s.cfg.ILPOpts
+	if eng == engine.ILP && mapOpts.TimeLimit > 0 && (ilpOpts.TimeLimitPerII <= 0 || ilpOpts.TimeLimitPerII > mapOpts.TimeLimit) {
+		ilpOpts.TimeLimitPerII = mapOpts.TimeLimit
+	}
+
+	type outcome struct {
+		res mapper.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	admitted := s.pool.TrySubmit(func() {
+		start := time.Now()
+		res, err := engine.Map(ar, g, eng, lbl, engine.Options{Map: mapOpts, ILP: ilpOpts})
+		s.metrics.Mapped(string(eng), err == nil && res.OK, time.Since(start))
+		done <- outcome{res, err}
+	})
+	if !admitted {
+		return nil, http.StatusTooManyRequests, errBusy
+	}
+	out := <-done
+	if out.err != nil {
+		return nil, http.StatusInternalServerError, out.err
+	}
+	res := out.res
+	if res.OK {
+		if err := mapper.Verify(ar, g, &res); err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("mapping failed verification: %w", err)
+		}
+	}
+	// Wall-clock duration is the one nondeterministic Result field; zero it
+	// so identical requests serialize to identical bytes. Latency lives in
+	// /metrics instead.
+	res.Duration = 0
+
+	resp := MapResponse{
+		Key:    key,
+		Arch:   ar.Name(),
+		Engine: string(eng),
+		Seed:   mapOpts.Seed,
+		Kernel: req.Kernel,
+		Nodes:  g.NumNodes(),
+		Edges:  g.NumEdges(),
+		Result: res,
+	}
+	if req.Stats && res.OK {
+		u, err := mapper.Utilize(ar, g, &res)
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		resp.Utilization = &u
+	}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	body = append(body, '\n')
+	s.cache.Add(key, body)
+	return body, http.StatusOK, nil
+}
+
+// requestGraph resolves the request's DFG: a named kernel or an inline DFG
+// document, then optional unrolling.
+func requestGraph(req *MapRequest) (*dfg.Graph, error) {
+	if (req.Kernel == "") == (len(req.DFG) == 0) {
+		return nil, errors.New("exactly one of \"kernel\" and \"dfg\" must be set")
+	}
+	var g *dfg.Graph
+	if req.Kernel != "" {
+		var err error
+		g, err = kernels.ByName(req.Kernel)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		g, err = dfg.ReadJSON(bytes.NewReader(req.DFG))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if req.Unroll > 1 {
+		g = dfg.Unroll(g, req.Unroll)
+	}
+	return g, nil
+}
+
+// ArchInfo is one /v1/archs row.
+type ArchInfo struct {
+	Name       string `json:"name"`
+	PEs        int    `json:"pes"`
+	MaxII      int    `json:"maxII"`
+	ModelReady bool   `json:"modelReady"`
+}
+
+func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/archs"
+	if r.Method != http.MethodGet {
+		s.fail(w, route, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	var out []ArchInfo
+	for _, name := range arch.Names() {
+		ar, _ := arch.ByName(name)
+		out = append(out, ArchInfo{
+			Name:       name,
+			PEs:        ar.NumPEs(),
+			MaxII:      ar.MaxII(),
+			ModelReady: s.reg.Has(name),
+		})
+	}
+	s.metrics.Request(route, http.StatusOK)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// KernelInfo is one /v1/kernels row.
+type KernelInfo struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/kernels"
+	if r.Method != http.MethodGet {
+		s.fail(w, route, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	var out []KernelInfo
+	for _, name := range kernels.Names() {
+		g := kernels.MustByName(name)
+		out = append(out, KernelInfo{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()})
+	}
+	s.metrics.Request(route, http.StatusOK)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	const route = "/healthz"
+	if s.isDraining() {
+		s.metrics.Request(route, http.StatusServiceUnavailable)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.metrics.Request(route, http.StatusOK)
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.reg.Ready()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	const route = "/metrics"
+	s.metrics.Request(route, http.StatusOK)
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(time.Now(), s.cache.Len()))
+}

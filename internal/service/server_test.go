@@ -1,0 +1,335 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/engine"
+	"github.com/lisa-go/lisa/internal/gnn"
+	"github.com/lisa-go/lisa/internal/kernels"
+	"github.com/lisa-go/lisa/internal/mapper"
+	"github.com/lisa-go/lisa/internal/registry"
+)
+
+// testServer builds a server whose registry has a pre-seeded (untrained)
+// model per CGRA so label engines never fall into minutes of training.
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	reg := registry.New(registry.Config{TrainOnDemand: false})
+	for _, name := range arch.Names() {
+		reg.Put(gnn.NewModel(rand.New(rand.NewSource(1)), name))
+	}
+	s := New(cfg, reg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func postMap(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/map", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestMapMissThenHitByteIdentical(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+	body := `{"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7}`
+
+	miss := postMap(t, h, body)
+	if miss.Code != http.StatusOK {
+		t.Fatalf("miss status %d: %s", miss.Code, miss.Body)
+	}
+	if got := miss.Header().Get("X-Lisa-Cache"); got != "miss" {
+		t.Fatalf("first request X-Lisa-Cache = %q", got)
+	}
+	hit := postMap(t, h, body)
+	if hit.Code != http.StatusOK {
+		t.Fatalf("hit status %d", hit.Code)
+	}
+	if got := hit.Header().Get("X-Lisa-Cache"); got != "hit" {
+		t.Fatalf("second request X-Lisa-Cache = %q", got)
+	}
+	if !bytes.Equal(miss.Body.Bytes(), hit.Body.Bytes()) {
+		t.Fatal("cache hit body differs from the original miss")
+	}
+
+	var resp MapResponse
+	if err := json.Unmarshal(miss.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Result.OK || resp.Result.II <= 0 {
+		t.Fatalf("gemm/sa/seed7 failed to map: %+v", resp.Result)
+	}
+	if resp.Result.Duration != 0 {
+		t.Fatal("response leaked wall-clock duration; bodies cannot be deterministic")
+	}
+
+	// The response matches a direct engine invocation with the same inputs
+	// (the CLI path), so service and CLI agree II-for-II.
+	direct, err := engine.Map(arch.NewBaseline4x4(), kernels.MustByName("gemm"), engine.SA, nil,
+		engine.Options{Map: mapper.Options{Seed: 7, MaxMoves: 2400, TimeLimit: 30 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.II != resp.Result.II || direct.Moves != resp.Result.Moves {
+		t.Fatalf("service II=%d moves=%d, direct II=%d moves=%d",
+			resp.Result.II, resp.Result.Moves, direct.II, direct.Moves)
+	}
+
+	snap := s.Metrics().Snapshot(time.Now(), s.Cache().Len())
+	if snap.Cache.Hits != 1 || snap.Cache.Misses != 1 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 1/1", snap.Cache.Hits, snap.Cache.Misses)
+	}
+	if snap.Cache.HitRatio != 0.5 {
+		t.Fatalf("hit ratio %v, want 0.5", snap.Cache.HitRatio)
+	}
+}
+
+// N concurrent identical requests run the annealer exactly once and all see
+// the same bytes (run with -race: this is the singleflight acceptance test).
+func TestConcurrentIdenticalRequestsSingleMapperRun(t *testing.T) {
+	s := testServer(t, Config{Workers: 4, QueueDepth: 64})
+	h := s.Handler()
+	body := `{"kernel":"atax","arch":"cgra-4x4","engine":"sa","seed":3}`
+
+	const n = 16
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := postMap(t, h, body)
+			if w.Code != http.StatusOK {
+				t.Errorf("request %d: status %d", i, w.Code)
+				return
+			}
+			bodies[i] = w.Body.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d body differs", i)
+		}
+	}
+	snap := s.Metrics().Snapshot(time.Now(), s.Cache().Len())
+	sa := snap.Engines["sa"]
+	if sa.Count != 1 {
+		t.Fatalf("mapper ran %d times for %d identical requests, want exactly 1", sa.Count, n)
+	}
+	if got := snap.Cache.Hits + snap.Cache.Misses + snap.Cache.Coalesced; got != n {
+		t.Fatalf("hits+misses+coalesced = %d, want %d", got, n)
+	}
+	if snap.Cache.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", snap.Cache.Misses)
+	}
+}
+
+func TestMapInlineDFGMatchesKernel(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+
+	var dfgJSON bytes.Buffer
+	if err := kernels.MustByName("gemm").WriteJSON(&dfgJSON); err != nil {
+		t.Fatal(err)
+	}
+	inline := postMap(t, h, fmt.Sprintf(`{"dfg":%s,"arch":"cgra-4x4","engine":"sa","seed":7}`, dfgJSON.String()))
+	if inline.Code != http.StatusOK {
+		t.Fatalf("inline DFG status %d: %s", inline.Code, inline.Body)
+	}
+	// Content addressing: the equivalent named-kernel request must hit.
+	named := postMap(t, h, `{"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7}`)
+	if got := named.Header().Get("X-Lisa-Cache"); got != "hit" {
+		t.Fatalf("named kernel after inline DFG: X-Lisa-Cache = %q, want hit", got)
+	}
+	var a, b MapResponse
+	json.Unmarshal(inline.Body.Bytes(), &a)
+	json.Unmarshal(named.Body.Bytes(), &b)
+	if a.Result.II != b.Result.II {
+		t.Fatalf("inline II=%d, named II=%d", a.Result.II, b.Result.II)
+	}
+}
+
+func TestMapLabelEngineUsesRegistry(t *testing.T) {
+	s := testServer(t, Config{})
+	w := postMap(t, s.Handler(), `{"kernel":"gemm","arch":"cgra-4x4","engine":"lisa","seed":1}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("lisa engine status %d: %s", w.Code, w.Body)
+	}
+	var resp MapResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Result.OK {
+		t.Fatal("lisa engine failed to map gemm")
+	}
+}
+
+func TestMapWithoutModelIs503(t *testing.T) {
+	reg := registry.New(registry.Config{TrainOnDemand: false})
+	s := New(Config{}, reg)
+	defer s.Close()
+	w := postMap(t, s.Handler(), `{"kernel":"gemm","arch":"cgra-4x4","engine":"lisa"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 when no model and training disabled", w.Code)
+	}
+}
+
+func TestMapBadRequests(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+	cases := map[string]string{
+		"both kernel and dfg":    `{"kernel":"gemm","dfg":{"name":"x"},"arch":"cgra-4x4"}`,
+		"neither kernel nor dfg": `{"arch":"cgra-4x4"}`,
+		"unknown arch":           `{"kernel":"gemm","arch":"tpu-9000"}`,
+		"unknown engine":         `{"kernel":"gemm","arch":"cgra-4x4","engine":"magic"}`,
+		"unknown kernel":         `{"kernel":"nope","arch":"cgra-4x4"}`,
+		"unknown field":          `{"kernel":"gemm","arch":"cgra-4x4","turbo":true}`,
+		"broken json":            `{`,
+	}
+	for what, body := range cases {
+		if w := postMap(t, h, body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", what, w.Code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/map", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/map: status %d, want 405", w.Code)
+	}
+}
+
+func TestAdmissionControl429(t *testing.T) {
+	s := testServer(t, Config{Workers: 1, QueueDepth: -1})
+	h := s.Handler()
+
+	// Occupy the single worker so the next mapping request finds a full pool.
+	// With an unbuffered queue TrySubmit only succeeds once the worker is
+	// parked in its receive, so retry until it picks the blocker up.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	for !s.pool.TrySubmit(func() { close(started); <-block }) {
+		time.Sleep(time.Millisecond)
+	}
+	<-started
+
+	w := postMap(t, h, `{"kernel":"gemm","arch":"cgra-4x4","engine":"sa"}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 with a saturated pool", w.Code)
+	}
+	close(block)
+
+	snap := s.Metrics().Snapshot(time.Now(), 0)
+	if snap.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", snap.Rejected)
+	}
+	// After the blocker drains, the same request succeeds.
+	deadlineOK := func() bool {
+		w := postMap(t, h, `{"kernel":"gemm","arch":"cgra-4x4","engine":"sa"}`)
+		return w.Code == http.StatusOK
+	}
+	for i := 0; i < 100 && !deadlineOK(); i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDiscoveryAndHealthEndpoints(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		return w
+	}
+
+	var archs []ArchInfo
+	if w := get("/v1/archs"); w.Code != http.StatusOK {
+		t.Fatalf("/v1/archs: %d", w.Code)
+	} else if err := json.Unmarshal(w.Body.Bytes(), &archs); err != nil {
+		t.Fatal(err)
+	}
+	if len(archs) != len(arch.Names()) {
+		t.Fatalf("archs: %d rows, want %d", len(archs), len(arch.Names()))
+	}
+	for _, a := range archs {
+		if a.PEs <= 0 || a.MaxII <= 0 {
+			t.Fatalf("arch row %+v not populated", a)
+		}
+		if !a.ModelReady {
+			t.Fatalf("arch %s should have a pre-seeded model", a.Name)
+		}
+	}
+
+	var ks []KernelInfo
+	if w := get("/v1/kernels"); w.Code != http.StatusOK {
+		t.Fatalf("/v1/kernels: %d", w.Code)
+	} else if err := json.Unmarshal(w.Body.Bytes(), &ks); err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != len(kernels.Names()) {
+		t.Fatalf("kernels: %d rows, want %d", len(ks), len(kernels.Names()))
+	}
+	for _, k := range ks {
+		if k.Nodes == 0 || k.Edges == 0 {
+			t.Fatalf("kernel row %+v not populated", k)
+		}
+	}
+
+	if w := get("/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("/healthz: %d", w.Code)
+	}
+	var m MetricsSnapshot
+	if w := get("/metrics"); w.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", w.Code)
+	} else if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests["/v1/archs"] != 1 || m.Requests["/healthz"] != 1 {
+		t.Fatalf("request counters wrong: %+v", m.Requests)
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+	s.Close()
+
+	if w := postMap(t, h, `{"kernel":"gemm","arch":"cgra-4x4"}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("map while draining: %d, want 503", w.Code)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", w.Code)
+	}
+}
+
+func TestDeadlineCapsAndStatsField(t *testing.T) {
+	s := testServer(t, Config{MaxDeadline: time.Minute})
+	h := s.Handler()
+	w := postMap(t, h, `{"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":2,"deadlineMs":600000,"stats":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp MapResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Utilization == nil || resp.Utilization.II != resp.Result.II {
+		t.Fatalf("stats=true returned no utilization: %+v", resp.Utilization)
+	}
+}
