@@ -1,11 +1,19 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: build test bench examples figures serve vet fuzz clean
+.PHONY: build test bench examples figures serve vet lint fuzz clean
 
 build:
 	go build ./...
 
 vet:
+	go vet ./...
+
+# Static analysis gate: go vet plus lisa-vet, the repo's own determinism &
+# concurrency linter (map-iteration order, global RNG streams, wall-clock
+# reads, dropped errors). Fails on any unsuppressed diagnostic.
+lint:
+	go build ./...
+	go run ./cmd/lisa-vet ./...
 	go vet ./...
 
 test:

@@ -58,7 +58,7 @@ func main() {
 				fatal(fmt.Errorf("unknown experiment %q", id))
 			}
 			cmp := ctx.Fig9(spec)
-			cmp.Render(os.Stdout)
+			must(cmp.Render(os.Stdout))
 			fig9Cmps = append(fig9Cmps, cmp)
 			exportComparison(*outDir, id, cmp)
 			fmt.Println()
@@ -67,7 +67,7 @@ func main() {
 				spec, _ := experiments.Fig9SpecByID(panel)
 				cmp := ctx.Fig9(spec)
 				rows := experiments.Fig10(cmp, power.DefaultParams())
-				experiments.RenderPower(os.Stdout, "Fig10/"+spec.Arch.Name(), cmp.Methods, rows)
+				must(experiments.RenderPower(os.Stdout, "Fig10/"+spec.Arch.Name(), cmp.Methods, rows))
 				fmt.Println()
 			}
 		case id == "fig11":
@@ -75,22 +75,22 @@ func main() {
 				spec, _ := experiments.Fig9SpecByID(panel)
 				cmp := ctx.Fig9(spec)
 				rows := experiments.Fig11(cmp)
-				experiments.RenderTimes(os.Stdout, "Fig11/"+spec.Arch.Name(), cmp.Methods, rows)
+				must(experiments.RenderTimes(os.Stdout, "Fig11/"+spec.Arch.Name(), cmp.Methods, rows))
 				fmt.Println()
 			}
 		case id == "fig12":
 			for _, ar := range []arch.Arch{arch.NewBaseline4x4(), arch.NewLessRouting4x4()} {
-				ctx.Fig12(ar).Render(os.Stdout)
+				must(ctx.Fig12(ar).Render(os.Stdout))
 				fmt.Println()
 			}
 		case id == "fig13":
 			orig, unrolled := ctx.Fig13()
-			orig.Render(os.Stdout)
-			unrolled.Render(os.Stdout)
+			must(orig.Render(os.Stdout))
+			must(unrolled.Render(os.Stdout))
 			fmt.Println()
 		case id == "table2":
 			rows := ctx.Table2(arch.PaperTargets())
-			experiments.RenderTable2(os.Stdout, rows)
+			must(experiments.RenderTable2(os.Stdout, rows))
 			fmt.Println()
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", id))
@@ -101,10 +101,10 @@ func main() {
 	}
 	if *shapes && len(fig9Cmps) > 0 {
 		fmt.Println()
-		experiments.RenderShapes(os.Stdout, experiments.CheckFig9(fig9Cmps))
+		must(experiments.RenderShapes(os.Stdout, experiments.CheckFig9(fig9Cmps)))
 		for _, cmp := range fig9Cmps {
 			if cmp.Arch.MaxII() == 1 && len(cmp.Rows) >= 12 {
-				experiments.RenderShapes(os.Stdout, experiments.CheckFig9g(cmp))
+				must(experiments.RenderShapes(os.Stdout, experiments.CheckFig9g(cmp)))
 			}
 		}
 	}
@@ -139,4 +139,11 @@ func exportComparison(dir, id string, cmp *experiments.Comparison) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "lisa-bench:", err)
 	os.Exit(1)
+}
+
+// must aborts on a table/figure write error (stdout or -out files).
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
 }

@@ -1,0 +1,217 @@
+// Package analysis is lisa-vet's static-analysis driver: a pure-stdlib
+// (go/parser, go/ast, go/types, go/token — no x/tools) framework with four
+// repo-specific analyzers that machine-check the determinism invariants the
+// LISA pipeline depends on.
+//
+// Reproducible GNN-guided mapping means the same DFG + arch + seed must
+// yield byte-identical results: the traingen→gnn→mapper pipeline corrupts
+// its own training labels if any hot path drifts, and the lisa-serve result
+// cache serves stale bytes as ground truth. Three classes of drift have
+// each been fixed by hand in past PRs — map-iteration order, shared global
+// RNG streams, and wall-clock readings leaking into results — so lisa-vet
+// checks all three on every commit, plus silently discarded errors (a
+// dropped error can mask the first two).
+//
+// Diagnostics are suppressed per line with
+//
+//	//lisa:nondet-ok <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: a bare //lisa:nondet-ok is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	Name string // short lowercase identifier, shown in diagnostics
+	Doc  string // one-line description for -list
+	Run  func(*Pass)
+}
+
+// All is the full analyzer set run by `lisa-vet` with no -run flag.
+var All = []*Analyzer{MapRange, GlobalRand, WallClock, ErrDrop}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Position token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// A Pass couples one analyzer with one package; analyzers report through it.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Position: position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if the type checker has no record.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to the object it uses or defines.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// suppressPrefix introduces a per-line suppression comment. The comment
+// applies to diagnostics on its own line or the line directly below (so a
+// standalone comment line can annotate the statement it precedes).
+const suppressPrefix = "lisa:nondet-ok"
+
+// suppression is one //lisa:nondet-ok comment, located by file and line.
+type suppression struct {
+	file   string
+	line   int
+	reason string
+	pos    token.Pos
+}
+
+// collectSuppressions scans a parsed file's comments for suppressPrefix.
+func collectSuppressions(fset *token.FileSet, f *ast.File) []suppression {
+	var out []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, suppressPrefix) {
+				continue
+			}
+			rest := text[len(suppressPrefix):]
+			if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+				continue // e.g. lisa:nondet-okay — some other marker
+			}
+			pos := fset.Position(c.Pos())
+			out = append(out, suppression{
+				file:   pos.Filename,
+				line:   pos.Line,
+				reason: strings.TrimSpace(rest),
+				pos:    c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by a suppression comment on its
+// line or the line directly above.
+func (pkg *Package) suppressed(d Diagnostic) bool {
+	for _, s := range pkg.suppressions {
+		if s.file == d.File && (s.line == d.Line || s.line == d.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package, drops suppressed
+// diagnostics, reports malformed suppression comments, and returns the
+// remainder sorted by file, line, column, analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !pkg.suppressed(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+		// A suppression without a reason defeats the point of the audit
+		// trail: reject it like a finding.
+		for _, s := range pkg.suppressions {
+			if s.reason == "" {
+				diags = append(diags, Diagnostic{
+					File:     s.file,
+					Line:     s.line,
+					Col:      pkg.Fset.Position(s.pos).Column,
+					Analyzer: "suppression",
+					Message:  "//" + suppressPrefix + " needs a reason: //" + suppressPrefix + " <why this is deterministic>",
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// resultPackages are the packages whose output feeds training labels,
+// figures, or the service result cache: any nondeterminism here either
+// poisons datasets or breaks cache byte-identity. Matched as path suffixes
+// so the fixture packages under testdata/src/ resolve the same way.
+var resultPackages = []string{
+	"internal/mapper",
+	"internal/gnn",
+	"internal/labels",
+	"internal/traingen",
+	"internal/dfg",
+	"internal/ilp",
+	"internal/experiments",
+	"internal/registry",
+	"internal/service",
+}
+
+// inResultPackage reports whether pkgPath is one of the result-affecting
+// packages (by path-segment-aligned suffix match).
+func inResultPackage(pkgPath string) bool {
+	for _, s := range resultPackages {
+		if pathHasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathHasSuffix reports whether path ends in suffix on a "/" boundary.
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"flag"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// goldenCases pairs each analyzer with a fixture package seeded with
+// violations (and non-violations) and the golden transcript of the
+// diagnostics it must produce.
+var goldenCases = []struct {
+	name      string // also the golden file stem
+	fixture   string // dir under testdata/src/internal/
+	asPath    string // import path the fixture poses as
+	imports   []string
+	analyzers []*Analyzer
+}{
+	{
+		name:      "maprange",
+		fixture:   "mapper",
+		asPath:    "example.com/fixture/internal/mapper",
+		imports:   []string{"sort", "time"},
+		analyzers: []*Analyzer{MapRange},
+	},
+	{
+		name:      "wallclock",
+		fixture:   "mapper",
+		asPath:    "example.com/fixture/internal/mapper",
+		imports:   []string{"sort", "time"},
+		analyzers: []*Analyzer{WallClock},
+	},
+	{
+		name:      "globalrand",
+		fixture:   "randfix",
+		asPath:    "example.com/fixture/internal/randfix",
+		imports:   []string{"math/rand"},
+		analyzers: []*Analyzer{GlobalRand},
+	},
+	{
+		name:      "errdrop",
+		fixture:   "errfix",
+		asPath:    "example.com/fixture/internal/errfix",
+		imports:   []string{"fmt", "os", "strings"},
+		analyzers: []*Analyzer{ErrDrop},
+	},
+	{
+		name:      "suppression",
+		fixture:   "suppressfix",
+		asPath:    "example.com/fixture/internal/suppressfix",
+		analyzers: []*Analyzer{MapRange},
+	},
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", "internal", tc.fixture)
+			pkg, err := LoadFixture(dir, tc.asPath, tc.imports)
+			if err != nil {
+				t.Fatalf("LoadFixture(%s): %v", dir, err)
+			}
+			diags := Run([]*Package{pkg}, tc.analyzers)
+			if len(diags) == 0 {
+				t.Fatalf("fixture %s produced no diagnostics; each fixture must seed at least one violation", tc.fixture)
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				// Keep goldens machine-independent: base name only.
+				d.File = filepath.Base(d.File)
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/analysis -run TestGolden -update`): %v", err)
+			}
+			if want := string(wantBytes); got != want {
+				t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestFixturesFailViaRealLoader drives the production Load path (go list
+// -export) over every fixture package and checks the full analyzer set finds
+// the seeded violations — this is the in-process version of the CI gate that
+// `lisa-vet` exits nonzero on each fixture.
+func TestFixturesFailViaRealLoader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	patterns := []string{
+		"./internal/analysis/testdata/src/internal/mapper",
+		"./internal/analysis/testdata/src/internal/randfix",
+		"./internal/analysis/testdata/src/internal/errfix",
+		"./internal/analysis/testdata/src/internal/suppressfix",
+	}
+	pkgs, err := Load("../..", patterns)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != len(patterns) {
+		t.Fatalf("Load returned %d packages, want %d", len(pkgs), len(patterns))
+	}
+	for _, pkg := range pkgs {
+		diags := Run([]*Package{pkg}, All)
+		if len(diags) == 0 {
+			t.Errorf("%s: no diagnostics from seeded-violation fixture", pkg.Path)
+		}
+	}
+}
+
+// TestCollectSuppressions covers the comment-scanning corner cases directly.
+func TestCollectSuppressions(t *testing.T) {
+	const src = `package p
+
+func f() {
+	_ = 1 //lisa:nondet-ok with a reason
+	//lisa:nondet-ok
+	_ = 2
+	_ = 3 //lisa:nondet-okay different marker, not ours
+	_ = 4 // lisa:nondet-ok leading space still counts
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectSuppressions(fset, file)
+	want := []struct {
+		line   int
+		reason string
+	}{
+		{4, "with a reason"},
+		{5, ""},
+		{8, "leading space still counts"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d suppressions, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].line != w.line || got[i].reason != w.reason {
+			t.Errorf("suppression %d = line %d reason %q, want line %d reason %q",
+				i, got[i].line, got[i].reason, w.line, w.reason)
+		}
+	}
+}
+
+// TestSuppressedLineAbove checks that a standalone comment suppresses the
+// statement directly below it but not two lines down.
+func TestSuppressedLineAbove(t *testing.T) {
+	pkg := &Package{suppressions: []suppression{{file: "f.go", line: 10, reason: "x"}}}
+	for _, tc := range []struct {
+		line int
+		want bool
+	}{{10, true}, {11, true}, {12, false}, {9, false}} {
+		d := Diagnostic{File: "f.go", Line: tc.line}
+		if got := pkg.suppressed(d); got != tc.want {
+			t.Errorf("suppressed(line %d) = %v, want %v", tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestPathHasSuffix(t *testing.T) {
+	for _, tc := range []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"internal/mapper", "internal/mapper", true},
+		{"github.com/lisa-go/lisa/internal/mapper", "internal/mapper", true},
+		{"github.com/lisa-go/lisa/internal/remapper", "internal/mapper", false},
+		{"example.com/x/testdata/src/internal/mapper", "internal/mapper", true},
+	} {
+		if got := pathHasSuffix(tc.path, tc.suffix); got != tc.want {
+			t.Errorf("pathHasSuffix(%q, %q) = %v, want %v", tc.path, tc.suffix, got, tc.want)
+		}
+	}
+}

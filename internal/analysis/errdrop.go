@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags call statements in internal/ packages that silently
+// discard an error return — a plain `f()` statement, `defer f()`, or
+// `go f()` where f returns an error. A swallowed error is how the other
+// three invariants fail silently: a Save that half-wrote a model, a cache
+// entry that never serialized, a fixture that never loaded.
+//
+// An explicit `_ = f()` is a deliberate, reviewable discard and is not
+// flagged. Callees that are documented to never return a non-nil error
+// (bytes.Buffer, strings.Builder writes, fmt printing to stdout) are
+// excluded.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "silently discarded error return in an internal package",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	if !pathHasSegment(pass.Pkg.Path, "internal") {
+		return
+	}
+	check := func(call *ast.CallExpr, how string) {
+		if call == nil {
+			return
+		}
+		t := pass.TypeOf(call)
+		if t == nil || !hasError(t) || errDropExcluded(pass, call) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s discards an error returned by %s; handle it or assign it to _ explicitly",
+			how, calleeName(pass, call))
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, "call statement")
+				}
+			case *ast.DeferStmt:
+				check(s.Call, "defer")
+			case *ast.GoStmt:
+				check(s.Call, "go statement")
+			}
+			return true
+		})
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// hasError reports whether a call result type includes an error component.
+func hasError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+// errDropExcluded reports whether the callee is documented to never return
+// a non-nil error.
+func errDropExcluded(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println": // stdout; an error here is unactionable
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			// Fprint* only fails if the writer fails; writing to an
+			// in-memory buffer or a hash state cannot.
+			return len(call.Args) > 0 && infallibleWriter(pass.TypeOf(call.Args[0]))
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder": // Write* never returns an error
+		return true
+	}
+	return false
+}
+
+// infallibleWriter reports whether t is a writer type documented to never
+// return a write error: bytes.Buffer and strings.Builder grow in memory,
+// and hash.Hash's Write is specified to never error.
+func infallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder", "hash.Hash":
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method, if statically known.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeName renders the callee for a diagnostic message.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		return fn.Name()
+	}
+	return types.ExprString(call.Fun)
+}
+
+// pathHasSegment reports whether pkgPath contains seg as a whole path
+// segment (e.g. "internal" matches a/internal/b and internal/b).
+func pathHasSegment(pkgPath, seg string) bool {
+	for _, s := range strings.Split(pkgPath, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags calls to the package-level math/rand (and math/rand/v2)
+// functions — rand.Intn, rand.Float64, rand.Shuffle, … — anywhere in the
+// repo. Those draw from one process-global, mutex-guarded stream, so the
+// value any task observes depends on how goroutines interleave; with the
+// injected per-task *rand.Rand (seeded via parallel.DeriveSeed) each task's
+// stream is a pure function of (base seed, task index) at any worker
+// count. Constructors (rand.New, rand.NewSource, …) are exactly how the
+// injected generators get built and are not flagged.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "call to a package-level math/rand function (shared global RNG stream)",
+	Run:  runGlobalRand,
+}
+
+// randConstructors build private generators rather than draw from the
+// global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method on *rand.Rand etc. — the injected form
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the process-global RNG stream; use the injected per-task *rand.Rand (seed it with parallel.DeriveSeed)",
+				path, fn.Name())
+			return true
+		})
+	}
+}

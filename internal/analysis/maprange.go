@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `for range` over map-typed values in result-affecting
+// packages. Go randomizes map iteration order per run, so any map range on
+// a path that feeds training labels, figures, or the service cache makes
+// the output a function of the scheduler, not the seed. PR 1 fixed exactly
+// this class of bug by hand (mapper partner lists, dataset pair order);
+// this analyzer keeps it fixed.
+//
+// The blessed fix is self-certifying: a range whose body only collects
+// keys/values into slices that are all passed to a sort call later in the
+// same function (sort.Slice, sort.Ints, slices.Sort, …) is recognized as
+// the collect-then-sort idiom and not flagged. Ranges whose body is
+// genuinely order-independent (copying into another map, per-key
+// arithmetic, feeding a JSON encoder that sorts keys) carry a
+// //lisa:nondet-ok <reason> annotation instead.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "range over a map in a result-affecting package (nondeterministic iteration order)",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	if !inResultPackage(pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd.Body)
+		}
+	}
+}
+
+// checkMapRanges inspects one function body (recursing into literals, which
+// get their own body scope for the collect-then-sort check).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkMapRanges(pass, n.Body)
+			return false
+		case *ast.RangeStmt:
+			t := pass.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectsThenSorts(pass, body, n) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"range over map %s: iteration order is nondeterministic; collect and sort the keys first, or annotate //lisa:nondet-ok <reason> if order cannot affect results",
+				types.ExprString(n.X))
+		}
+		return true
+	})
+}
+
+// collectsThenSorts reports whether rs is the collect-then-sort idiom: its
+// body does nothing but append to slices, and every such slice is the
+// argument of a sort call later in the enclosing function body.
+func collectsThenSorts(pass *Pass, body *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	targets := collectTargets(pass, rs.Body)
+	if len(targets) == 0 {
+		return false
+	}
+	for _, target := range targets {
+		if !sortedAfter(pass, body, rs.End(), target) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectTargets returns the rendered append targets if every statement in
+// the block is `x = append(x, ...)`, possibly nested under if/blocks, and
+// nil otherwise.
+func collectTargets(pass *Pass, block *ast.BlockStmt) []string {
+	var targets []string
+	var walk func(stmts []ast.Stmt) bool
+	walk = func(stmts []ast.Stmt) bool {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.AssignStmt:
+				t, ok := appendTarget(pass, s)
+				if !ok {
+					return false
+				}
+				targets = append(targets, t)
+			case *ast.IfStmt:
+				if s.Init != nil || s.Else != nil || !walk(s.Body.List) {
+					return false
+				}
+			case *ast.BlockStmt:
+				if !walk(s.List) {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(block.List) {
+		return nil
+	}
+	return targets
+}
+
+// appendTarget matches `x = append(x, ...)` and returns x's rendering.
+func appendTarget(pass *Pass, as *ast.AssignStmt) (string, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := pass.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return "", false
+	}
+	lhs := types.ExprString(as.Lhs[0])
+	if types.ExprString(call.Args[0]) != lhs {
+		return "", false
+	}
+	return lhs, true
+}
+
+// sortFuncs are the stdlib entry points that order a slice in place.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true,
+		"Ints": true, "Strings": true, "Float64s": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether body contains, after pos, a sort call whose
+// first argument renders identically to target.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		names := sortFuncs[fn.Pkg().Path()]
+		if names == nil || !names[fn.Name()] {
+			return true
+		}
+		arg := types.ExprString(ast.Unparen(call.Args[0]))
+		// sort.Sort(byX(target)) wraps the slice in a named type.
+		if wrap, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok && len(wrap.Args) == 1 {
+			arg = types.ExprString(wrap.Args[0])
+		}
+		if arg == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

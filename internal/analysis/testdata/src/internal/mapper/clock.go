@@ -1,0 +1,20 @@
+package fix
+
+import "time"
+
+// Map shares its name with the allowlisted internal/mapper deadline site:
+// not flagged.
+func Map() int64 {
+	return time.Now().UnixNano()
+}
+
+// notAllowlisted reads the clock outside the allowlist: both calls flagged.
+func notAllowlisted() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// suppressedClock carries an annotation: not flagged.
+func suppressedClock() time.Time {
+	return time.Now() //lisa:nondet-ok debug-only timestamp, never serialized
+}

@@ -1,0 +1,13 @@
+// Package suppressfix seeds a reason-less suppression: the comment still
+// silences the maprange diagnostic on the next line, but is itself
+// reported, so the build fails until a reason is written.
+package suppressfix
+
+func bad(m map[int]int) int {
+	n := 0
+	//lisa:nondet-ok
+	for range m {
+		n++
+	}
+	return n
+}

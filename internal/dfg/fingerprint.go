@@ -36,7 +36,7 @@ func (g *Graph) WriteCanonical(w io.Writer) error {
 // content address of the graph's structure.
 func (g *Graph) Fingerprint() string {
 	h := sha256.New()
-	g.WriteCanonical(h) // hash.Hash never errors
+	_ = g.WriteCanonical(h) // WriteCanonical only fails if the writer does; hash.Hash never errors
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -44,6 +44,6 @@ func (g *Graph) Fingerprint() string {
 // debugging cache keys).
 func (g *Graph) CanonicalString() string {
 	var b strings.Builder
-	g.WriteCanonical(&b)
+	_ = g.WriteCanonical(&b) // strings.Builder writes never error
 	return b.String()
 }

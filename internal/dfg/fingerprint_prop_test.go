@@ -1,0 +1,79 @@
+package dfg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// rebuildWith reconstructs g node-for-node and edge-for-edge, substituting
+// the given node names and edge endpoints.
+func rebuildWith(g *Graph, name string, nodeNames []string, edges []Edge) *Graph {
+	out := New(name)
+	for i, n := range g.Nodes {
+		out.AddNode(nodeNames[i], n.Op)
+	}
+	for _, e := range edges {
+		out.AddEdge(e.From, e.To)
+	}
+	return out
+}
+
+// Fingerprint hashes structure only: permuting node names (and renaming the
+// graph) must not change it. This is what lets the lisa-serve cache hit on
+// the same kernel submitted with different identifier spellings.
+func TestFingerprintStableUnderNodeRenaming(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := Random(rng, DefaultRandomConfig(), "orig")
+
+			names := make([]string, len(g.Nodes))
+			for i, n := range g.Nodes {
+				names[i] = n.Name
+			}
+			rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+			renamed := rebuildWith(g, "renamed", names, g.Edges)
+
+			if got, want := renamed.Fingerprint(), g.Fingerprint(); got != want {
+				t.Fatalf("renaming nodes changed the fingerprint:\n%s\nvs\n%s", got, want)
+			}
+		})
+	}
+}
+
+// Rewiring any single edge must change the fingerprint: results are
+// index-addressed, so a different dependency structure is a different
+// content address.
+func TestFingerprintChangesOnEdgeRewire(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := Random(rng, DefaultRandomConfig(), "orig")
+			if len(g.Edges) == 0 || len(g.Nodes) < 3 {
+				t.Skip("degenerate random graph")
+			}
+			names := make([]string, len(g.Nodes))
+			for i, n := range g.Nodes {
+				names[i] = n.Name
+			}
+
+			ei := rng.Intn(len(g.Edges))
+			edges := append([]Edge(nil), g.Edges...)
+			// Retarget the consumer to a different node that is not the
+			// producer (keeps the edge well-formed).
+			for delta := 1; delta < len(g.Nodes); delta++ {
+				to := (edges[ei].To + delta) % len(g.Nodes)
+				if to != edges[ei].To && to != edges[ei].From {
+					edges[ei].To = to
+					break
+				}
+			}
+			rewired := rebuildWith(g, "orig", names, edges)
+
+			if rewired.Fingerprint() == g.Fingerprint() {
+				t.Fatalf("rewiring edge %d did not change the fingerprint", ei)
+			}
+		})
+	}
+}

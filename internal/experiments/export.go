@@ -48,7 +48,11 @@ func (cmp *Comparison) WriteJSON(w io.Writer) error {
 	}
 	for _, r := range cmp.Rows {
 		row := jsonComparisonRow{Kernel: r.Kernel, Results: map[Method]jsonResult{}}
-		for m, res := range r.Results {
+		for _, m := range cmp.Methods {
+			res, ok := r.Results[m]
+			if !ok {
+				continue
+			}
 			row.Results[m] = jsonResult{
 				OK: res.OK, II: res.II, RoutingCost: res.RoutingCost,
 				Moves: res.Moves, Duration: res.Duration,

@@ -138,15 +138,18 @@ func Fig10(cmp *Comparison, params power.ModelParams) []PowerRow {
 			MOPSPerW:   map[Method]float64{},
 			Normalized: map[Method]float64{},
 		}
-		for m, res := range r.Results {
-			if res.OK {
+		// Iterate the canonical method list, not the map: float division
+		// is per-key here, but keeping one ordered walk everywhere means
+		// the analyzer (and a reader) need no per-site proof.
+		for _, m := range cmp.Methods {
+			if res, ok := r.Results[m]; ok && res.OK {
 				rep := power.Evaluate(cmp.Arch, r.Graph, res.II, res.RoutingCost, params)
 				pr.MOPSPerW[m] = rep.MOPSPerWatt
 			}
 		}
 		base := pr.MOPSPerW[MethodLISA]
-		for m, v := range pr.MOPSPerW {
-			if base > 0 {
+		for _, m := range cmp.Methods {
+			if v, ok := pr.MOPSPerW[m]; ok && base > 0 {
 				pr.Normalized[m] = v / base
 			}
 		}
@@ -169,9 +172,11 @@ func Fig11(cmp *Comparison) []TimeRow {
 	var rows []TimeRow
 	for _, r := range cmp.Rows {
 		tr := TimeRow{Kernel: r.Kernel, Times: map[Method]time.Duration{}, Mapped: map[Method]bool{}}
-		for m, res := range r.Results {
-			tr.Times[m] = res.Duration
-			tr.Mapped[m] = res.OK
+		for _, m := range cmp.Methods {
+			if res, ok := r.Results[m]; ok {
+				tr.Times[m] = res.Duration
+				tr.Mapped[m] = res.OK
+			}
 		}
 		rows = append(rows, tr)
 	}
@@ -237,24 +242,26 @@ func maxInt(a, b int) int {
 }
 
 // Render writes a Comparison as a paper-style text table: II per method for
-// CGRAs (0 = cannot map), ✓/✗ for the systolic array.
-func (cmp *Comparison) Render(w io.Writer) {
+// CGRAs (0 = cannot map), ✓/✗ for the systolic array. The table is built in
+// memory and written once, so the only possible error is the writer's.
+func (cmp *Comparison) Render(w io.Writer) error {
+	var b strings.Builder
 	systolic := cmp.Arch.MaxII() == 1
-	fmt.Fprintf(w, "%s — %s (", cmp.Label, cmp.Arch.Name())
+	fmt.Fprintf(&b, "%s — %s (", cmp.Label, cmp.Arch.Name())
 	if systolic {
-		fmt.Fprintf(w, "mapped ✓ / not mapped ✗")
+		fmt.Fprintf(&b, "mapped ✓ / not mapped ✗")
 	} else {
-		fmt.Fprintf(w, "II; 0 = cannot map")
+		fmt.Fprintf(&b, "II; 0 = cannot map")
 	}
-	fmt.Fprintf(w, ")\n")
+	fmt.Fprintf(&b, ")\n")
 
-	fmt.Fprintf(w, "%-12s", "kernel")
+	fmt.Fprintf(&b, "%-12s", "kernel")
 	for _, m := range cmp.Methods {
-		fmt.Fprintf(w, "%8s", m)
+		fmt.Fprintf(&b, "%8s", m)
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(&b)
 	for _, r := range cmp.Rows {
-		fmt.Fprintf(w, "%-12s", r.Kernel)
+		fmt.Fprintf(&b, "%-12s", r.Kernel)
 		for _, m := range cmp.Methods {
 			res := r.Results[m]
 			if systolic {
@@ -262,64 +269,72 @@ func (cmp *Comparison) Render(w io.Writer) {
 				if res.OK {
 					mark = "✓" // ✓
 				}
-				fmt.Fprintf(w, "%8s", mark)
+				fmt.Fprintf(&b, "%8s", mark)
 			} else {
-				fmt.Fprintf(w, "%8d", res.II)
+				fmt.Fprintf(&b, "%8d", res.II)
 			}
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(&b)
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // RenderPower writes Fig. 10 rows (normalized MOPS/W).
-func RenderPower(w io.Writer, label string, methods []Method, rows []PowerRow) {
-	fmt.Fprintf(w, "%s — power efficiency normalized to LISA\n", label)
-	fmt.Fprintf(w, "%-12s", "kernel")
+func RenderPower(w io.Writer, label string, methods []Method, rows []PowerRow) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — power efficiency normalized to LISA\n", label)
+	fmt.Fprintf(&b, "%-12s", "kernel")
 	for _, m := range methods {
-		fmt.Fprintf(w, "%8s", m)
+		fmt.Fprintf(&b, "%8s", m)
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(&b)
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s", r.Kernel)
+		fmt.Fprintf(&b, "%-12s", r.Kernel)
 		for _, m := range methods {
 			if v, ok := r.Normalized[m]; ok {
-				fmt.Fprintf(w, "%8.2f", v)
+				fmt.Fprintf(&b, "%8.2f", v)
 			} else {
-				fmt.Fprintf(w, "%8s", "-")
+				fmt.Fprintf(&b, "%8s", "-")
 			}
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(&b)
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // RenderTimes writes Fig. 11 rows; unmapped methods show the termination
 // time with a trailing ✗.
-func RenderTimes(w io.Writer, label string, methods []Method, rows []TimeRow) {
-	fmt.Fprintf(w, "%s — compilation time\n", label)
-	fmt.Fprintf(w, "%-12s", "kernel")
+func RenderTimes(w io.Writer, label string, methods []Method, rows []TimeRow) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — compilation time\n", label)
+	fmt.Fprintf(&b, "%-12s", "kernel")
 	for _, m := range methods {
-		fmt.Fprintf(w, "%14s", m)
+		fmt.Fprintf(&b, "%14s", m)
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(&b)
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s", r.Kernel)
+		fmt.Fprintf(&b, "%-12s", r.Kernel)
 		for _, m := range methods {
 			mark := ""
 			if !r.Mapped[m] {
 				mark = "✗"
 			}
-			fmt.Fprintf(w, "%13s%s", r.Times[m].Round(time.Millisecond), orSpace(mark))
+			fmt.Fprintf(&b, "%13s%s", r.Times[m].Round(time.Millisecond), orSpace(mark))
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(&b)
 	}
 	for _, m := range methods {
 		if m == MethodLISA {
 			continue
 		}
 		if sp := GeomeanSpeedup(rows, m); sp > 0 {
-			fmt.Fprintf(w, "LISA compile-time reduction vs %s: %.1fx\n", m, sp)
+			fmt.Fprintf(&b, "LISA compile-time reduction vs %s: %.1fx\n", m, sp)
 		}
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 func orSpace(s string) string {
@@ -330,18 +345,21 @@ func orSpace(s string) string {
 }
 
 // RenderTable2 writes Table II.
-func RenderTable2(w io.Writer, rows []Table2Row) {
-	fmt.Fprintln(w, "Table II — GNN label prediction accuracy")
-	fmt.Fprintf(w, "%-24s%8s%8s%8s%8s%10s\n",
+func RenderTable2(w io.Writer, rows []Table2Row) error {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table II — GNN label prediction accuracy")
+	fmt.Fprintf(&b, "%-24s%8s%8s%8s%8s%10s\n",
 		"architecture", "label1", "label2", "label3", "label4", "samples")
 	for _, r := range rows {
 		if r.Samples == 0 {
-			fmt.Fprintf(w, "%-24s%8s%8s%8s%8s%10d\n", r.ArchName, "-", "-", "-", "-", 0)
+			fmt.Fprintf(&b, "%-24s%8s%8s%8s%8s%10d\n", r.ArchName, "-", "-", "-", "-", 0)
 			continue
 		}
-		fmt.Fprintf(w, "%-24s%8.3f%8.3f%8.3f%8.3f%10d\n",
+		fmt.Fprintf(&b, "%-24s%8.3f%8.3f%8.3f%8.3f%10d\n",
 			r.ArchName, r.Accuracy[0], r.Accuracy[1], r.Accuracy[2], r.Accuracy[3], r.Samples)
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // Summary counts paper-style aggregates over a set of comparisons: how many
@@ -360,8 +378,8 @@ func Summarize(cmps []*Comparison) Summary {
 	for _, cmp := range cmps {
 		for _, r := range cmp.Rows {
 			s.Combinations++
-			for m, res := range r.Results {
-				if res.OK {
+			for _, m := range cmp.Methods {
+				if res, ok := r.Results[m]; ok && res.OK {
 					s.MappedBy[m]++
 				}
 			}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 )
 
 // The reproduction's fidelity target is the *shape* of the paper's results,
@@ -168,14 +169,17 @@ func CheckFig12(cmp *Comparison) []Shape {
 }
 
 // RenderShapes writes assertion outcomes.
-func RenderShapes(w io.Writer, shapes []Shape) {
+func RenderShapes(w io.Writer, shapes []Shape) error {
+	var b strings.Builder
 	for _, s := range shapes {
 		mark := "PASS"
 		if !s.Pass {
 			mark = "FAIL"
 		}
-		fmt.Fprintf(w, "[%s] %-32s %s\n", mark, s.Name, s.Detail)
+		fmt.Fprintf(&b, "[%s] %-32s %s\n", mark, s.Name, s.Detail)
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // AllPass reports whether every shape assertion holds.

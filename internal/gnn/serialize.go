@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/lisa-go/lisa/internal/attr"
 	"github.com/lisa-go/lisa/internal/tensor"
@@ -58,6 +59,7 @@ func (m *Model) Save(w io.Writer) error {
 		DummyScale: m.DummyScale,
 		ASAPScale:  m.ASAPScale,
 	}
+	//lisa:nondet-ok builds a map keyed the same way; encoding/json sorts map keys on output
 	for name, t := range m.namedWeights() {
 		f.Weights[name] = &tensorFile{Rows: t.Rows, Cols: t.Cols, Data: t.Data}
 	}
@@ -78,16 +80,31 @@ func Load(r io.Reader, seedModel *Model) (*Model, error) {
 	if f.Format != modelFormat {
 		return nil, fmt.Errorf("gnn: unsupported model format %d", f.Format)
 	}
+	// Validation walks both weight sets in sorted-name order so a file with
+	// several problems always reports the same one first: Load's error text
+	// is asserted by tests and surfaces in service logs, and map-iteration
+	// order would make it flap run to run.
 	want := seedModel.namedWeights()
-	for name, src := range f.Weights {
+	fileNames := make([]string, 0, len(f.Weights))
+	for name := range f.Weights {
+		fileNames = append(fileNames, name)
+	}
+	sort.Strings(fileNames)
+	for _, name := range fileNames {
 		if _, ok := want[name]; !ok {
 			return nil, fmt.Errorf("gnn: model file has unknown weight %q", name)
 		}
-		if src == nil {
+		if f.Weights[name] == nil {
 			return nil, fmt.Errorf("gnn: model file weight %q is null", name)
 		}
 	}
-	for name, t := range want {
+	wantNames := make([]string, 0, len(want))
+	for name := range want {
+		wantNames = append(wantNames, name)
+	}
+	sort.Strings(wantNames)
+	for _, name := range wantNames {
+		t := want[name]
 		src, ok := f.Weights[name]
 		if !ok {
 			return nil, fmt.Errorf("gnn: model file missing weight %q", name)
@@ -101,18 +118,19 @@ func Load(r io.Reader, seedModel *Model) (*Model, error) {
 				name, len(src.Data), t.Rows*t.Cols)
 		}
 	}
-	for scale, dim := range map[string]struct {
+	for _, scale := range []struct {
+		name string
 		got  int
 		want int
 	}{
-		"nodeScale":  {len(f.NodeScale), attr.NodeAttrDim},
-		"edgeScale":  {len(f.EdgeScale), attr.EdgeAttrDim},
-		"dummyScale": {len(f.DummyScale), attr.DummyAttrDim},
+		{"nodeScale", len(f.NodeScale), attr.NodeAttrDim},
+		{"edgeScale", len(f.EdgeScale), attr.EdgeAttrDim},
+		{"dummyScale", len(f.DummyScale), attr.DummyAttrDim},
 	} {
 		// nil means "unscaled" (an untrained model); anything else must
 		// match the attribute dimensionality exactly.
-		if dim.got != 0 && dim.got != dim.want {
-			return nil, fmt.Errorf("gnn: %s has %d columns, want %d", scale, dim.got, dim.want)
+		if scale.got != 0 && scale.got != scale.want {
+			return nil, fmt.Errorf("gnn: %s has %d columns, want %d", scale.name, scale.got, scale.want)
 		}
 	}
 
@@ -122,6 +140,7 @@ func Load(r io.Reader, seedModel *Model) (*Model, error) {
 	m.EdgeScale = f.EdgeScale
 	m.DummyScale = f.DummyScale
 	m.ASAPScale = f.ASAPScale
+	//lisa:nondet-ok validation passed: every copy is per-key into the matching tensor, no cross-key effects
 	for name, t := range want {
 		copy(t.Data, f.Weights[name].Data)
 	}

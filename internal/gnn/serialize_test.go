@@ -95,6 +95,57 @@ func TestLoadRejectsCorruptModelFiles(t *testing.T) {
 	})
 }
 
+// Load's error text must be stable run to run: validation iterates weight
+// names in sorted order and scale checks in declaration order, so a file
+// with several problems always reports the same one first. Service logs and
+// these assertions depend on that; map-iteration order would make the
+// reported name flap between runs.
+func TestLoadErrorOrderIsStable(t *testing.T) {
+	t.Run("multiple bad shapes report first sorted name", func(t *testing.T) {
+		want := ""
+		for i := 0; i < 20; i++ {
+			f := savedModelFile(t)
+			f.Weights["temporal.W2"].Rows++
+			f.Weights["same.W1"].Rows++
+			f.Weights["order.W0"].Rows++
+			err := loadFrom(t, f)
+			if err == nil {
+				t.Fatal("corrupt file accepted")
+			}
+			if !strings.Contains(err.Error(), `"order.W0"`) {
+				t.Fatalf("error names %q, want the alphabetically first corrupt weight order.W0", err)
+			}
+			if want == "" {
+				want = err.Error()
+			} else if err.Error() != want {
+				t.Fatalf("error text changed between runs:\n%q\n%q", want, err.Error())
+			}
+		}
+	})
+	t.Run("multiple unknown weights report first sorted name", func(t *testing.T) {
+		for i := 0; i < 20; i++ {
+			f := savedModelFile(t)
+			f.Weights["zzz.B"] = &tensorFile{Rows: 1, Cols: 1, Data: []float64{1}}
+			f.Weights["aaa.A"] = &tensorFile{Rows: 1, Cols: 1, Data: []float64{1}}
+			err := loadFrom(t, f)
+			if err == nil || !strings.Contains(err.Error(), `"aaa.A"`) {
+				t.Fatalf("error = %v, want unknown weight aaa.A reported first", err)
+			}
+		}
+	})
+	t.Run("multiple bad scales report declaration order", func(t *testing.T) {
+		for i := 0; i < 20; i++ {
+			f := savedModelFile(t)
+			f.NodeScale = f.NodeScale[:2]
+			f.EdgeScale = f.EdgeScale[:1]
+			err := loadFrom(t, f)
+			if err == nil || !strings.Contains(err.Error(), "nodeScale") {
+				t.Fatalf("error = %v, want nodeScale reported before edgeScale", err)
+			}
+		}
+	})
+}
+
 // A rejected load must leave the seed model untouched — no partial copies.
 func TestLoadFailureLeavesSeedModelUntouched(t *testing.T) {
 	f := savedModelFile(t)

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"sort"
 	"time"
 
 	"github.com/lisa-go/lisa/internal/arch"
@@ -113,13 +114,28 @@ func mapAtII(ar arch.Arch, g *dfg.Graph, an *dfg.Analysis, ii int,
 	for v := range g.Nodes {
 		m.AddExactlyOne(nodeVars[v])
 	}
-	// Modulo-FU exclusivity: at most one op per (pe, t mod II).
+	// Modulo-FU exclusivity: at most one op per (pe, t mod II). Constraints
+	// are added in sorted (pe, slot) order: the branch-and-bound solver's
+	// propagation and tie-breaking follow constraint order, so map-iteration
+	// order here would make the returned placement (not just the search
+	// path) vary run to run.
 	fuVars := map[[2]int][]int{}
 	for id, sv := range vars {
 		key := [2]int{sv.pe, sv.t % ii}
 		fuVars[key] = append(fuVars[key], id)
 	}
-	for _, group := range fuVars {
+	fuKeys := make([][2]int, 0, len(fuVars))
+	for key := range fuVars {
+		fuKeys = append(fuKeys, key)
+	}
+	sort.Slice(fuKeys, func(i, j int) bool {
+		if fuKeys[i][0] != fuKeys[j][0] {
+			return fuKeys[i][0] < fuKeys[j][0]
+		}
+		return fuKeys[i][1] < fuKeys[j][1]
+	})
+	for _, key := range fuKeys {
+		group := fuVars[key]
 		if len(group) < 2 {
 			continue
 		}

@@ -1,0 +1,44 @@
+package mapper
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+)
+
+// Two Map runs with equal inputs and equal seeds must produce identical
+// Result JSON (modulo Duration, which is wall-clock and zeroed by services
+// that need byte-stable bodies). The lisa-serve result cache and the
+// training-label pipeline both depend on this byte-identity.
+func TestMapEqualSeedsProduceIdenticalResultJSON(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	for _, alg := range []Algorithm{AlgSA, AlgLISA} {
+		for gseed := int64(1); gseed <= 3; gseed++ {
+			t.Run(fmt.Sprintf("%s/graph%d", alg, gseed), func(t *testing.T) {
+				g := dfg.Random(rand.New(rand.NewSource(gseed)), dfg.DefaultRandomConfig(), "prop")
+				opts := Options{Seed: 42, MaxMoves: 400}
+
+				r1 := Map(ar, g, alg, nil, opts)
+				r2 := Map(ar, g, alg, nil, opts)
+				r1.Duration, r2.Duration = 0, 0
+
+				b1, err := json.Marshal(r1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b2, err := json.Marshal(r2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(b1, b2) {
+					t.Fatalf("equal seeds diverged:\n%s\n%s", b1, b2)
+				}
+			})
+		}
+	}
+}

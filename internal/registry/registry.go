@@ -91,7 +91,7 @@ func (r *Registry) LoadFile(path string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only open: nothing to recover from a close error
 	m, err := gnn.Load(f, gnn.NewModel(rand.New(rand.NewSource(1)), ""))
 	if err != nil {
 		return "", fmt.Errorf("registry: %s: %w", path, err)

@@ -24,6 +24,6 @@ func cacheKey(g *dfg.Graph, archName string, eng engine.Name, opts mapper.Option
 	o := opts.Normalized()
 	fmt.Fprintf(h, "opts=seed:%d,maxMoves:%d,movesPerTemp:%d,initTemp:%g,cool:%g,alpha:%g,maxII:%d\n",
 		o.Seed, o.MaxMoves, o.MovesPerTemp, o.InitTemp, o.Cool, o.Alpha, o.MaxII)
-	g.WriteCanonical(h)
+	_ = g.WriteCanonical(h) // WriteCanonical only fails if the writer does; hash.Hash never errors
 	return hex.EncodeToString(h.Sum(nil))
 }

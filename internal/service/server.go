@@ -211,10 +211,16 @@ type errorBody struct {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before touching the ResponseWriter: once the status line is
+	// out there is no way to signal an encoding failure to the client.
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	_, _ = w.Write(body) // a write error means the client hung up; nothing to do
 }
 
 func (s *Server) fail(w http.ResponseWriter, route string, status int, format string, args ...any) {
@@ -287,7 +293,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Request(route, http.StatusOK)
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Lisa-Cache", "hit")
-		w.Write(body)
+		_, _ = w.Write(body) // client disconnect; the cached entry is intact
 		return
 	}
 
@@ -320,7 +326,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Lisa-Cache", "miss")
 	}
-	w.Write(body)
+	_, _ = w.Write(body) // client disconnect; the result is already cached
 }
 
 // runMapping is the singleflight leader body: admit into the worker pool,
