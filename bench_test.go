@@ -195,10 +195,16 @@ func BenchmarkAblation_GreedyPlacement(b *testing.B) {
 		for _, name := range names {
 			g := kernels.MustByName(name)
 			ar := arch.NewLessRouting4x4()
-			stoch := mapper.Map(ar, g, mapper.AlgLISA, nil,
+			stoch, err := mapper.Map(ar, g, mapper.AlgLISA, nil,
 				mapper.Options{Seed: 5, MaxMoves: 1200, Alpha: 0.15})
-			greedy := mapper.Map(ar, g, mapper.AlgLISA, nil,
+			if err != nil {
+				b.Fatal(err)
+			}
+			greedy, err := mapper.Map(ar, g, mapper.AlgLISA, nil,
 				mapper.Options{Seed: 5, MaxMoves: 1200, Alpha: 1e-9})
+			if err != nil {
+				b.Fatal(err)
+			}
 			if stoch.OK {
 				stochOK++
 			}
@@ -220,8 +226,14 @@ func BenchmarkAblation_PartialSA(b *testing.B) {
 	g := kernels.MustByName("atax")
 	ar := arch.NewBaseline4x4()
 	for i := 0; i < b.N; i++ {
-		part := mapper.Map(ar, g, mapper.AlgPart, nil, mapper.Options{Seed: 2, MaxMoves: 1200})
-		full := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: 2, MaxMoves: 1200})
+		part, err := mapper.Map(ar, g, mapper.AlgPart, nil, mapper.Options{Seed: 2, MaxMoves: 1200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, err := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: 2, MaxMoves: 1200})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.StopTimer()
 		b.Logf("partial: ok=%v II=%d moves=%d; full: ok=%v II=%d moves=%d",
 			part.OK, part.II, part.Moves, full.OK, full.II, full.Moves)
@@ -278,8 +290,11 @@ func BenchmarkMapperCore(b *testing.B) {
 	ar := arch.NewBaseline4x4()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res := mapper.Map(ar, g, mapper.AlgLISA, nil,
+		res, err := mapper.Map(ar, g, mapper.AlgLISA, nil,
 			mapper.Options{Seed: int64(i), MaxMoves: 1200})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !res.OK {
 			b.Fatal("map failed")
 		}

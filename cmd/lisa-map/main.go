@@ -11,6 +11,12 @@
 // greedy, ilp. The CLI exits nonzero when no legal mapping is found.
 // Without -model, the label-using engines fall back to the §V-B label
 // initialization; pass a model trained by lisa-train for GNN-derived labels.
+//
+// Requests run through the same degradation ladder as lisa-serve: an
+// engine that errors or panics, or an SA sweep that exhausts its deadline
+// without a valid mapping, is replaced by the next rung down (sa, then
+// greedy) and each substitution is printed. -no-fallback runs the named
+// engine exactly once and exits nonzero on any failure.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"github.com/lisa-go/lisa/internal/arch"
 	"github.com/lisa-go/lisa/internal/attr"
 	"github.com/lisa-go/lisa/internal/engine"
+	"github.com/lisa-go/lisa/internal/fault"
 	"github.com/lisa-go/lisa/internal/gnn"
 	"github.com/lisa-go/lisa/internal/ilp"
 	"github.com/lisa-go/lisa/internal/kernels"
@@ -50,7 +57,17 @@ func main() {
 	stats := flag.Bool("stats", false, "print utilization and the schedule table")
 	simulate := flag.Int("simulate", 0, "cycle-accurate simulation for N iterations")
 	svgOut := flag.String("svg", "", "write the mapping drawing (Fig. 5 style) to this SVG file")
+	noFallback := flag.Bool("no-fallback", false, "fail instead of degrading to sa/greedy when the engine cannot run")
 	flag.Parse()
+
+	// LISA_FAULTS arms the deterministic fault layer (chaos testing), the
+	// same contract as lisa-serve.
+	if plan, err := fault.FromEnv(); err != nil {
+		fatal(err)
+	} else if plan != nil {
+		fault.Activate(plan)
+		fmt.Fprintln(os.Stderr, "lisa-map: FAULT INJECTION ARMED:", plan)
+	}
 
 	var ar arch.Arch
 	if *archFile != "" {
@@ -119,12 +136,24 @@ func main() {
 		}
 		lbl = model.Predict(attr.Generate(g))
 	}
-	res, err := engine.Map(ar, g, eng, lbl, engine.Options{
-		Map: mapper.Options{Seed: *seed, MaxMoves: *moves},
-		ILP: ilp.Options{TimeLimitPerII: *ilpTime},
+	rr, err := engine.Run(ar, g, engine.Request{
+		Engine: eng,
+		Labels: engine.StaticLabels{L: lbl},
+		Opts: engine.Options{
+			Map: mapper.Options{Seed: *seed, MaxMoves: *moves},
+			ILP: ilp.Options{TimeLimitPerII: *ilpTime},
+		},
+		NoFallback: *noFallback,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	res := rr.Result
+	for _, step := range res.Degraded {
+		fmt.Fprintln(os.Stderr, "lisa-map: degraded:", step)
+	}
+	if rr.Engine != eng {
+		fmt.Fprintf(os.Stderr, "lisa-map: result produced by the %s engine, not %s\n", rr.Engine, eng)
 	}
 
 	fmt.Print(lisa.Describe(ar, g, &res))

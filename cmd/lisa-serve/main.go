@@ -11,13 +11,20 @@
 // Endpoints:
 //
 //	POST /v1/map      {"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7}
-//	GET  /v1/archs    capability discovery: targets + model readiness
+//	GET  /v1/archs    capability discovery: targets + model readiness/errors
 //	GET  /v1/kernels  the built-in PolyBench kernels
+//	POST /v1/reload   clear cached training failures, rescan the models dir
 //	GET  /healthz     liveness (503 while draining)
 //	GET  /metrics     request counts, cache hit ratio, latency histograms
 //
 // SIGINT/SIGTERM drains: the listener stops accepting, in-flight mappings
 // finish, then the process exits.
+//
+// Requests that hit an engine failure are answered by the degradation
+// ladder (lisa → sa → greedy) with the rungs labeled in the response; a
+// panic anywhere in a handler or mapping task becomes a 500 plus a metrics
+// tick, never a dead daemon. The -faults flag (or LISA_FAULTS) arms the
+// deterministic fault-injection layer for chaos testing.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"time"
 
 	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/fault"
 	"github.com/lisa-go/lisa/internal/gnn"
 	"github.com/lisa-go/lisa/internal/labels"
 	"github.com/lisa-go/lisa/internal/mapper"
@@ -54,7 +62,25 @@ func main() {
 	trainDFGs := flag.Int("train-dfgs", 36, "random DFGs per on-demand training run")
 	trainEpochs := flag.Int("train-epochs", 60, "epochs per on-demand training run")
 	seed := flag.Int64("train-seed", 1, "seed for on-demand training")
+	maxNodes := flag.Int("max-dfg-nodes", 512, "node cap for inline DFG uploads, post-unroll (-1 = uncapped)")
+	maxEdges := flag.Int("max-dfg-edges", 2048, "edge cap for inline DFG uploads, post-unroll (-1 = uncapped)")
+	faults := flag.String("faults", "", "fault-injection plan, e.g. 'gnn.train=error:1' (overrides LISA_FAULTS; chaos testing only)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault decisions")
 	flag.Parse()
+
+	if *faults != "" {
+		plan, err := fault.ParsePlan(*faults, *faultSeed)
+		if err != nil {
+			log.Fatalf("lisa-serve: -faults: %v", err)
+		}
+		fault.Activate(plan)
+		log.Printf("lisa-serve: FAULT INJECTION ARMED: %s", plan)
+	} else if plan, err := fault.FromEnv(); err != nil {
+		log.Fatalf("lisa-serve: LISA_FAULTS: %v", err)
+	} else if plan != nil {
+		fault.Activate(plan)
+		log.Printf("lisa-serve: FAULT INJECTION ARMED (env): %s", plan)
+	}
 
 	reg := registry.New(registry.Config{
 		TrainGen: traingen.Config{
@@ -83,6 +109,12 @@ func main() {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		MapOpts:         mapper.Options{MaxMoves: *moves},
+		MaxDFGNodes:     *maxNodes,
+		MaxDFGEdges:     *maxEdges,
+		ModelsDir:       *modelsDir,
+		OnPanic: func(recovered any, stack []byte) {
+			log.Printf("lisa-serve: recovered panic: %v\n%s", recovered, stack)
+		},
 	}, reg)
 
 	httpSrv := &http.Server{

@@ -37,7 +37,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: *seed, MaxMoves: *moves})
+	res, err := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: *seed, MaxMoves: *moves})
+	if err != nil {
+		fatal(err)
+	}
 	if !res.OK {
 		fatal(fmt.Errorf("cannot map %s on %s", g.Name, ar.Name()))
 	}

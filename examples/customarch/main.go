@@ -47,8 +47,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := fw.Map(g)
-		base := fw.MapBaseline(g)
+		res, err := fw.Map(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := fw.MapBaseline(g)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-10s %6d %6d\n", name, res.II, base.II)
 		if res.OK {
 			if err := fw.Verify(g, &res); err != nil {

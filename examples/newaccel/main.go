@@ -37,8 +37,14 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		trained := fw.Map(g)
-		baseline := fw.MapBaseline(g)
+		trained, err := fw.Map(g)
+		if err != nil {
+			panic(err)
+		}
+		baseline, err := fw.MapBaseline(g)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-10s %6d %6d\n", name, trained.II, baseline.II)
 		if trained.OK {
 			if err := fw.Verify(g, &trained); err != nil {

@@ -33,8 +33,14 @@ func main() {
 			fw.MapOpts.Seed = 7
 			fw.MapOpts.MaxMoves = 1600
 
-			withLabels := fw.Map(g)
-			baseline := fw.MapBaseline(g)
+			withLabels, err := fw.Map(g)
+			if err != nil {
+				panic(err)
+			}
+			baseline, err := fw.MapBaseline(g)
+			if err != nil {
+				panic(err)
+			}
 			fmt.Printf("%22s", fmt.Sprintf("%d / %d", withLabels.II, baseline.II))
 		}
 		fmt.Println()

@@ -24,7 +24,10 @@ func main() {
 	}
 	fmt.Println("mapping", g.Summary())
 
-	res := fw.Map(g)
+	res, err := fw.Map(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !res.OK {
 		log.Fatalf("no mapping found (tried IIs %v)", res.TriedIIs)
 	}

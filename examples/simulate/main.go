@@ -23,7 +23,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := fw.Map(g)
+	res, err := fw.Map(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !res.OK {
 		log.Fatal("mapping failed")
 	}

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	lisa "github.com/lisa-go/lisa"
 )
@@ -39,7 +40,10 @@ func main() {
 				fw := lisa.New(ar)
 				fw.MapOpts.Seed = 11
 				fw.MapOpts.MaxMoves = 2000
-				res := fw.Map(g)
+				res, err := fw.Map(g)
+				if err != nil {
+					log.Fatal(err)
+				}
 				fmt.Printf("%12d", res.II)
 			}
 			fmt.Printf("   %d nodes\n", g.NumNodes())

@@ -195,6 +195,8 @@ var resultPackages = []string{
 	"internal/experiments",
 	"internal/registry",
 	"internal/service",
+	"internal/engine",
+	"internal/fault",
 }
 
 // inResultPackage reports whether pkgPath is one of the result-affecting

@@ -18,3 +18,9 @@ func notAllowlisted() time.Duration {
 func suppressedClock() time.Time {
 	return time.Now() //lisa:nondet-ok debug-only timestamp, never serialized
 }
+
+// sleeper delays outside the allowlist: flagged — a sleep shifts every
+// deadline-relative outcome without appearing in any Result.
+func sleeper() {
+	time.Sleep(time.Millisecond)
+}

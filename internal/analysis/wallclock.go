@@ -5,11 +5,13 @@ import (
 	"go/types"
 )
 
-// WallClock flags time.Now and time.Since calls in result-affecting
-// packages outside the allowlisted deadline/metrics call sites. Wall-clock
-// readings that reach a Result make equal requests produce unequal bytes,
-// which breaks the service cache's byte-identity guarantee and poisons
-// any dataset that serializes them.
+// WallClock flags time.Now, time.Since and time.Sleep calls in
+// result-affecting packages outside the allowlisted deadline/metrics call
+// sites. Wall-clock readings that reach a Result make equal requests
+// produce unequal bytes, which breaks the service cache's byte-identity
+// guarantee and poisons any dataset that serializes them; a sleep shifts
+// every deadline-relative outcome the same way without ever appearing in
+// a Result, which is worse to debug.
 //
 // Legitimate clock uses fall in two families, allowlisted by enclosing
 // function below: deadline enforcement (a time budget may cut an II sweep
@@ -18,7 +20,7 @@ import (
 // the documented Duration field, which the cache zeroes on hits).
 var WallClock = &Analyzer{
 	Name: "wallclock",
-	Doc:  "time.Now/time.Since in a result-affecting package outside allowlisted deadline/metrics sites",
+	Doc:  "time.Now/time.Since/time.Sleep in a result-affecting package outside allowlisted deadline/metrics sites",
 	Run:  runWallClock,
 }
 
@@ -32,10 +34,13 @@ var wallclockAllowed = map[string][]string{
 		"anneal",    // TimeLimit deadline check inside the movement loop
 	},
 	"internal/ilp": {
-		"Map",    // Result.Duration measurement
+		"Map",     // Result.Duration measurement
 		"mapAtII", // per-II solver deadline
-		"Solve",  // solver TimeLimit deadline
-		"timeUp", // deadline check in the search loop
+		"Solve",   // solver TimeLimit deadline
+		"timeUp",  // deadline check in the search loop
+	},
+	"internal/fault": {
+		"Inject", // latency-mode sleep IS the injected fault; fires only with a plan armed
 	},
 	"internal/service": {
 		"New",           // metrics start timestamp (uptime)
@@ -74,7 +79,7 @@ func runWallClock(pass *Pass) {
 				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
 					return true
 				}
-				if name := fn.Name(); name == "Now" || name == "Since" {
+				if name := fn.Name(); name == "Now" || name == "Since" || name == "Sleep" {
 					pass.Reportf(call.Pos(),
 						"time.%s outside an allowlisted deadline/metrics site leaks wall-clock into result-affecting code; add the enclosing function to wallclockAllowed (with justification) or restructure",
 						name)

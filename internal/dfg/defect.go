@@ -1,0 +1,63 @@
+package dfg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Defect classifies one structural problem with a DFG. The serving daemon
+// maps these to machine-readable fields on 400 responses, so clients can
+// tell a cyclic graph from an oversized one without parsing prose.
+type Defect string
+
+// The defect classes Validate, ReadJSON and CheckSize can report.
+const (
+	DefectCycle         Defect = "cycle"
+	DefectSelfLoop      Defect = "self-loop"
+	DefectDanglingEdge  Defect = "dangling-edge"
+	DefectDuplicateName Defect = "duplicate-name"
+	DefectUnknownOp     Defect = "unknown-op"
+	DefectNotConnected  Defect = "not-connected"
+	DefectBadID         Defect = "bad-id"
+	DefectTooLarge      Defect = "too-large"
+	DefectBadJSON       Defect = "bad-json"
+)
+
+// DefectError is a structural-validation failure with its classification.
+// The message matches what the un-classified errors said before, so log
+// output and error-text tests are unaffected.
+type DefectError struct {
+	Kind Defect
+	Msg  string
+}
+
+// Error returns the human-readable message.
+func (e *DefectError) Error() string { return e.Msg }
+
+// AsDefect unwraps err to a DefectError if one is in its chain.
+func AsDefect(err error) (*DefectError, bool) {
+	var de *DefectError
+	if errors.As(err, &de) {
+		return de, true
+	}
+	return nil, false
+}
+
+// CheckSize enforces node/edge count caps (<= 0 means uncapped). The
+// serving daemon applies it to inline DFGs before analysis: mapper state is
+// quadratic-ish in graph size, so an unbounded request is a memory bomb.
+func (g *Graph) CheckSize(maxNodes, maxEdges int) error {
+	if maxNodes > 0 && len(g.Nodes) > maxNodes {
+		return &DefectError{
+			Kind: DefectTooLarge,
+			Msg:  fmt.Sprintf("dfg %s: %d nodes exceeds the limit of %d", g.Name, len(g.Nodes), maxNodes),
+		}
+	}
+	if maxEdges > 0 && len(g.Edges) > maxEdges {
+		return &DefectError{
+			Kind: DefectTooLarge,
+			Msg:  fmt.Sprintf("dfg %s: %d edges exceeds the limit of %d", g.Name, len(g.Edges), maxEdges),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every way an untrusted DFG body can be malformed must come back as a
+// classified DefectError, never a panic.
+func TestReadJSONClassifiesDefects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want Defect
+	}{
+		{"malformed json", `{not json`, DefectBadJSON},
+		{"unknown op", `{"name":"g","nodes":[{"name":"a","op":"frobnicate"}],"edges":[]}`, DefectUnknownOp},
+		{"duplicate name", `{"name":"g","nodes":[{"name":"a","op":"add"},{"name":"a","op":"mul"}],"edges":[[0,1]]}`, DefectDuplicateName},
+		{"edge out of range", `{"name":"g","nodes":[{"name":"a","op":"add"}],"edges":[[0,7]]}`, DefectDanglingEdge},
+		{"negative edge endpoint", `{"name":"g","nodes":[{"name":"a","op":"add"}],"edges":[[-1,0]]}`, DefectDanglingEdge},
+		{"self loop", `{"name":"g","nodes":[{"name":"a","op":"add"}],"edges":[[0,0]]}`, DefectSelfLoop},
+		{"cycle", `{"name":"g","nodes":[{"name":"a","op":"add"},{"name":"b","op":"mul"}],"edges":[[0,1],[1,0]]}`, DefectCycle},
+		{"disconnected", `{"name":"g","nodes":[{"name":"a","op":"add"},{"name":"b","op":"mul"}],"edges":[]}`, DefectNotConnected},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ReadJSON(strings.NewReader(tc.body))
+			if err == nil {
+				t.Fatalf("ReadJSON accepted %s (graph %v)", tc.name, g.Name)
+			}
+			de, ok := AsDefect(err)
+			if !ok {
+				t.Fatalf("error is not a DefectError: %v", err)
+			}
+			if de.Kind != tc.want {
+				t.Fatalf("defect = %q (%v), want %q", de.Kind, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadJSONAcceptsValidGraph(t *testing.T) {
+	body := `{"name":"g","nodes":[{"name":"a","op":"load"},{"name":"b","op":"add"}],"edges":[[0,1]]}`
+	g, err := ReadJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("round trip lost structure: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestValidateClassifiesHandBuiltDefects(t *testing.T) {
+	// Struct-literal graphs bypass AddNode/AddEdge invariants; Validate must
+	// still classify what it finds.
+	dup := &Graph{Name: "dup", Nodes: []Node{{ID: 0, Name: "x"}, {ID: 1, Name: "x"}}}
+	if de, ok := AsDefect(dup.Validate()); !ok || de.Kind != DefectDuplicateName {
+		t.Fatalf("duplicate-name graph: %v", dup.Validate())
+	}
+	badID := &Graph{Name: "bad", Nodes: []Node{{ID: 5, Name: "x"}}}
+	if de, ok := AsDefect(badID.Validate()); !ok || de.Kind != DefectBadID {
+		t.Fatalf("bad-id graph: %v", badID.Validate())
+	}
+}
+
+func TestCheckSize(t *testing.T) {
+	g := New("g")
+	a := g.AddNode("a", OpLoad)
+	b := g.AddNode("b", OpAdd)
+	g.AddEdge(a, b)
+
+	if err := g.CheckSize(0, 0); err != nil {
+		t.Fatalf("uncapped CheckSize: %v", err)
+	}
+	if err := g.CheckSize(2, 1); err != nil {
+		t.Fatalf("at-limit CheckSize: %v", err)
+	}
+	if de, ok := AsDefect(g.CheckSize(1, 0)); !ok || de.Kind != DefectTooLarge {
+		t.Fatalf("node cap: %v", g.CheckSize(1, 0))
+	}
+	c := g.AddNode("c", OpStore)
+	g.AddEdge(b, c)
+	if de, ok := AsDefect(g.CheckSize(0, 1)); !ok || de.Kind != DefectTooLarge {
+		t.Fatalf("edge cap: %v", g.CheckSize(0, 1))
+	}
+}

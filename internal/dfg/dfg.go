@@ -216,29 +216,41 @@ func (g *Graph) Clone() *Graph {
 
 // Validate checks structural invariants: IDs are dense and consistent,
 // the graph is acyclic and weakly connected (unless empty), and every node
-// name is unique. It returns a descriptive error for the first violation.
+// name is unique. Every violation is reported as a *DefectError carrying a
+// machine-readable Defect class alongside the descriptive message.
 func (g *Graph) Validate() error {
+	seen := make(map[string]int, len(g.Nodes))
 	for i, n := range g.Nodes {
 		if n.ID != i {
-			return fmt.Errorf("dfg %s: node %q has ID %d at index %d", g.Name, n.Name, n.ID, i)
+			return &DefectError{Kind: DefectBadID,
+				Msg: fmt.Sprintf("dfg %s: node %q has ID %d at index %d", g.Name, n.Name, n.ID, i)}
 		}
+		if j, dup := seen[n.Name]; dup {
+			return &DefectError{Kind: DefectDuplicateName,
+				Msg: fmt.Sprintf("dfg %s: nodes %d and %d share the name %q", g.Name, j, i, n.Name)}
+		}
+		seen[n.Name] = i
 	}
 	for i, e := range g.Edges {
 		if e.ID != i {
-			return fmt.Errorf("dfg %s: edge %d has ID %d", g.Name, i, e.ID)
+			return &DefectError{Kind: DefectBadID,
+				Msg: fmt.Sprintf("dfg %s: edge %d has ID %d", g.Name, i, e.ID)}
 		}
 		if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
-			return fmt.Errorf("dfg %s: edge %d endpoints (%d,%d) out of range", g.Name, i, e.From, e.To)
+			return &DefectError{Kind: DefectDanglingEdge,
+				Msg: fmt.Sprintf("dfg %s: edge %d endpoints (%d,%d) out of range", g.Name, i, e.From, e.To)}
 		}
 		if e.From == e.To {
-			return fmt.Errorf("dfg %s: self loop on node %d", g.Name, e.From)
+			return &DefectError{Kind: DefectSelfLoop,
+				Msg: fmt.Sprintf("dfg %s: self loop on node %d", g.Name, e.From)}
 		}
 	}
 	if _, err := g.TopoOrder(); err != nil {
 		return err
 	}
 	if len(g.Nodes) > 1 && !g.WeaklyConnected() {
-		return fmt.Errorf("dfg %s: graph is not weakly connected", g.Name)
+		return &DefectError{Kind: DefectNotConnected,
+			Msg: fmt.Sprintf("dfg %s: graph is not weakly connected", g.Name)}
 	}
 	return nil
 }
@@ -272,7 +284,7 @@ func (g *Graph) TopoOrder() ([]int, error) {
 		}
 	}
 	if len(order) != n {
-		return nil, fmt.Errorf("dfg %s: cycle detected", g.Name)
+		return nil, &DefectError{Kind: DefectCycle, Msg: fmt.Sprintf("dfg %s: cycle detected", g.Name)}
 	}
 	return order, nil
 }

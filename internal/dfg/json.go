@@ -32,23 +32,39 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 	return enc.Encode(&jg)
 }
 
-// ReadJSON deserializes a DFG written by WriteJSON and validates it.
+// ReadJSON deserializes a DFG written by WriteJSON and validates it. Every
+// rejection — malformed JSON, unknown ops, duplicate names, dangling edges,
+// structural defects — is a *DefectError, never a panic: this is the parse
+// path for untrusted request bodies.
 func ReadJSON(r io.Reader) (*Graph, error) {
 	var jg jsonGraph
 	if err := json.NewDecoder(r).Decode(&jg); err != nil {
-		return nil, fmt.Errorf("dfg: decode JSON: %w", err)
+		return nil, &DefectError{Kind: DefectBadJSON,
+			Msg: fmt.Sprintf("dfg: decode JSON: %v", err)}
 	}
 	g := New(jg.Name)
 	for i, n := range jg.Nodes {
 		op, err := ParseOpKind(n.Op)
 		if err != nil {
-			return nil, fmt.Errorf("dfg: node %d: %w", i, err)
+			return nil, &DefectError{Kind: DefectUnknownOp,
+				Msg: fmt.Sprintf("dfg: node %d: %v", i, err)}
+		}
+		// AddNode panics on a duplicate name (a programming error when
+		// building graphs in code); here it is merely bad input.
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", i)
+		}
+		if j, dup := g.NodeByName(name); dup {
+			return nil, &DefectError{Kind: DefectDuplicateName,
+				Msg: fmt.Sprintf("dfg: nodes %d and %d share the name %q", j, i, name)}
 		}
 		g.AddNode(n.Name, op)
 	}
 	for i, e := range jg.Edges {
 		if e[0] < 0 || e[0] >= len(g.Nodes) || e[1] < 0 || e[1] >= len(g.Nodes) {
-			return nil, fmt.Errorf("dfg: edge %d out of range", i)
+			return nil, &DefectError{Kind: DefectDanglingEdge,
+				Msg: fmt.Sprintf("dfg: edge %d out of range", i)}
 		}
 		g.AddEdge(e[0], e[1])
 	}

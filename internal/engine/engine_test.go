@@ -1,13 +1,18 @@
 package engine
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/fault"
 	"github.com/lisa-go/lisa/internal/ilp"
 	"github.com/lisa-go/lisa/internal/kernels"
+	"github.com/lisa-go/lisa/internal/labels"
 	"github.com/lisa-go/lisa/internal/mapper"
 )
 
@@ -69,7 +74,10 @@ func TestMapDispatchMatchesDirectCalls(t *testing.T) {
 		if n == ILP || n == Greedy {
 			continue
 		}
-		direct := mapper.Map(ar, g, mapper.Algorithm(n), nil, opts.Map)
+		direct, err := mapper.Map(ar, g, mapper.Algorithm(n), nil, opts.Map)
+		if err != nil {
+			t.Fatalf("%s: direct mapper.Map: %v", eng, err)
+		}
 		res.Duration, direct.Duration = 0, 0
 		if !reflect.DeepEqual(res, direct) {
 			t.Fatalf("%s: dispatch result differs from direct mapper.Map", eng)
@@ -82,5 +90,147 @@ func TestMapRejectsUnknownEngine(t *testing.T) {
 	g := kernels.MustByName("gemm")
 	if _, err := Map(ar, g, Name("nope"), nil, Options{}); err == nil {
 		t.Fatal("Map accepted an unknown engine instead of returning an error")
+	}
+}
+
+// errLabels is a LabelSource whose model is unavailable.
+type errLabels struct{}
+
+func (errLabels) LabelsFor(arch.Arch, *dfg.Graph) (*labels.Labels, error) {
+	return nil, errors.New("model not trained")
+}
+
+func TestRunHealthyPathIsNotDegraded(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	opts := Options{Map: mapper.Options{Seed: 3, MaxMoves: 1600}}
+	rr, err := Run(ar, g, Request{Engine: LISA, Labels: StaticLabels{}, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Engine != LISA || rr.DegradedRun() {
+		t.Fatalf("healthy run degraded: engine=%s chain=%v", rr.Engine, rr.Degraded)
+	}
+	direct, err := mapper.Map(ar, g, mapper.AlgLISA, nil, opts.Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Duration, direct.Duration = 0, 0
+	if !reflect.DeepEqual(rr.Result, direct) {
+		t.Fatal("Run result differs from direct mapper.Map on the healthy path")
+	}
+}
+
+func TestRunLabelFailureFallsBackToSA(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	opts := Options{Map: mapper.Options{Seed: 3, MaxMoves: 1600}}
+	rr, err := Run(ar, g, Request{Engine: LISA, Labels: errLabels{}, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Engine != SA {
+		t.Fatalf("engine = %s, want sa", rr.Engine)
+	}
+	if len(rr.Degraded) != 1 || !strings.Contains(rr.Degraded[0], "lisa→sa: labels unavailable") {
+		t.Fatalf("degradation chain = %v", rr.Degraded)
+	}
+	direct, err := mapper.Map(ar, g, mapper.AlgSA, nil, opts.Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Duration, direct.Duration = 0, 0
+	rr.Result.Degraded = nil
+	if !reflect.DeepEqual(rr.Result, direct) {
+		t.Fatal("label fallback result differs from a direct sa run")
+	}
+}
+
+func TestRunLabelFailureNoFallbackReturnsError(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	req := Request{Engine: LISA, Labels: errLabels{}, NoFallback: true}
+	if _, err := Run(ar, g, req); err == nil {
+		t.Fatal("NoFallback run succeeded despite unavailable labels")
+	}
+}
+
+// With the mapper.anneal fault firing on every invocation, lisa and the sa
+// retry both error and the ladder must land on greedy — the full chain.
+func TestRunEngineFaultWalksLadderToGreedy(t *testing.T) {
+	for _, mode := range []string{"error", "panic"} {
+		plan, err := fault.ParsePlan("mapper.anneal="+mode+":1", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fault.Activate(plan); err != nil {
+			t.Fatal(err)
+		}
+		ar := arch.NewBaseline4x4()
+		g := kernels.MustByName("gemm")
+		opts := Options{Map: mapper.Options{Seed: 3, MaxMoves: 1600}}
+		rr, err := Run(ar, g, Request{Engine: LISA, Labels: StaticLabels{}, Opts: opts})
+		fault.Deactivate()
+		if err != nil {
+			t.Fatalf("mode %s: ladder leaked the injected fault: %v", mode, err)
+		}
+		if rr.Engine != Greedy || !rr.OK {
+			t.Fatalf("mode %s: engine=%s ok=%v, want a valid greedy mapping", mode, rr.Engine, rr.OK)
+		}
+		if len(rr.Degraded) != 2 ||
+			!strings.HasPrefix(rr.Degraded[0], "lisa→sa:") ||
+			!strings.HasPrefix(rr.Degraded[1], "sa→greedy:") {
+			t.Fatalf("mode %s: degradation chain = %v", mode, rr.Degraded)
+		}
+		if mode == "panic" && !strings.Contains(rr.Degraded[0], "panicked") {
+			t.Fatalf("panic rung not recorded as a panic: %v", rr.Degraded)
+		}
+	}
+}
+
+func TestRunEngineFaultNoFallbackReturnsError(t *testing.T) {
+	plan, err := fault.ParsePlan("mapper.anneal=error:1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Activate(plan); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Deactivate()
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	req := Request{Engine: LISA, Labels: StaticLabels{}, NoFallback: true,
+		Opts: Options{Map: mapper.Options{Seed: 3, MaxMoves: 1600}}}
+	if _, err := Run(ar, g, req); err == nil {
+		t.Fatal("NoFallback run swallowed the injected fault")
+	}
+}
+
+// An SA sweep whose deadline expires before any valid mapping is replaced
+// by the greedy mapper, and the substitution is labeled.
+func TestRunDeadlineExhaustionFallsBackToGreedy(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	opts := Options{Map: mapper.Options{Seed: 3, MaxMoves: 1 << 20, TimeLimit: time.Nanosecond}}
+	rr, err := Run(ar, g, Request{Engine: SA, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Engine != Greedy || !rr.OK {
+		t.Fatalf("engine=%s ok=%v, want a valid greedy mapping", rr.Engine, rr.OK)
+	}
+	if len(rr.Degraded) != 1 || !strings.Contains(rr.Degraded[0], "deadline exceeded") {
+		t.Fatalf("degradation chain = %v", rr.Degraded)
+	}
+	if rr.DeadlineExceeded {
+		t.Fatal("greedy substitute still carries DeadlineExceeded")
+	}
+}
+
+func TestRunRejectsUnknownEngine(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	if _, err := Run(ar, g, Request{Engine: Name("annealer-9000")}); err == nil {
+		t.Fatal("Run accepted an unknown engine")
 	}
 }

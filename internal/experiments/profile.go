@@ -178,7 +178,13 @@ func (c *Context) Run(ar arch.Arch, g *dfg.Graph, m Method) mapper.Result {
 		lbl := model.Predict(attr.Generate(g))
 		opts := c.Profile.MapOpts
 		opts.Seed = c.Profile.Seed
-		return mapper.Map(ar, g, mapper.AlgLISA, lbl, opts)
+		res, err := mapper.Map(ar, g, mapper.AlgLISA, lbl, opts)
+		if err != nil {
+			// The grid never runs with faults armed, so an error here is a
+			// failed cell, not a crashed experiment.
+			return mapper.Result{}
+		}
+		return res
 	case MethodSA, MethodSAM, MethodSARP:
 		alg := map[Method]mapper.Algorithm{
 			MethodSA: mapper.AlgSA, MethodSAM: mapper.AlgSAM, MethodSARP: mapper.AlgSARP,
@@ -211,7 +217,11 @@ func (c *Context) medianRun(ar arch.Arch, g *dfg.Graph, alg mapper.Algorithm, lb
 	parallel.ForEach(c.Profile.Workers, n, func(i int) {
 		opts := c.Profile.MapOpts
 		opts.Seed = c.Profile.Seed + int64(i)*7919
-		results[i] = mapper.Map(ar, g, alg, lbl, opts)
+		res, err := mapper.Map(ar, g, alg, lbl, opts)
+		if err != nil {
+			res = mapper.Result{} // injected fault ⇒ failed run; sorts worst
+		}
+		results[i] = res
 	})
 	order := make([]int, n)
 	for i := range order {

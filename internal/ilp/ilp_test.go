@@ -144,7 +144,10 @@ func TestILPWithinBudgetComparableToLISA(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("syrk")
 	ilpRes := Map(ar, g, Options{TimeLimitPerII: 4 * time.Second})
-	lisaRes := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: 3})
+	lisaRes, err := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ilpRes.OK {
 		t.Skip("ILP timed out on this machine; acceptable")
 	}

@@ -23,8 +23,8 @@ func TestMapEqualSeedsProduceIdenticalResultJSON(t *testing.T) {
 				g := dfg.Random(rand.New(rand.NewSource(gseed)), dfg.DefaultRandomConfig(), "prop")
 				opts := Options{Seed: 42, MaxMoves: 400}
 
-				r1 := Map(ar, g, alg, nil, opts)
-				r2 := Map(ar, g, alg, nil, opts)
+				r1 := mustMap(t, ar, g, alg, nil, opts)
+				r2 := mustMap(t, ar, g, alg, nil, opts)
 				r1.Duration, r2.Duration = 0, 0
 
 				b1, err := json.Marshal(r1)

@@ -34,6 +34,7 @@ func MapGreedy(ar arch.Arch, g *dfg.Graph, opts Options) Result {
 	for ii := ar.MinII(g); ii <= maxII; ii++ {
 		res.TriedIIs = append(res.TriedIIs, ii)
 		st := newState(ar, g, an, ii, lbl, config{}, opts.Alpha, nil)
+		st.faultToken = uint64(opts.Seed)
 		if greedyPass(st, an) {
 			res.OK = true
 			res.II = ii
@@ -46,6 +47,11 @@ func MapGreedy(ar arch.Arch, g *dfg.Graph, opts Options) Result {
 				res.Routes[e] = append([]int(nil), p...)
 			}
 			res.RoutingCost = st.routingCost()
+			break
+		}
+		if st.faultErr != nil {
+			// An injected router fault fails every II the same way; one
+			// attempt is evidence enough.
 			break
 		}
 	}

@@ -43,7 +43,7 @@ func TestGreedyIsFasterThanSA(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("gemm")
 	gr := MapGreedy(ar, g, Options{})
-	sa := Map(ar, g, AlgSA, nil, Options{Seed: 1})
+	sa := mustMap(t, ar, g, AlgSA, nil, Options{Seed: 1})
 	if !gr.OK {
 		t.Skip("greedy failed; speed comparison moot")
 	}
@@ -60,7 +60,7 @@ func TestGreedyWorseOrEqualToLISAOnHardKernels(t *testing.T) {
 	for _, name := range []string{"bicg", "syr2k", "gesummv", "symm", "mvt"} {
 		g := kernels.MustByName(name)
 		gr := MapGreedy(ar, g, Options{})
-		li := Map(ar, g, AlgLISA, nil, quickOpts(4))
+		li := mustMap(t, ar, g, AlgLISA, nil, quickOpts(4))
 		switch {
 		case li.OK && !gr.OK:
 			better++

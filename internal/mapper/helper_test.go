@@ -1,0 +1,21 @@
+package mapper
+
+import (
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/labels"
+)
+
+// mustMap runs Map and fails the test on a dispatch error (unknown
+// algorithm or injected fault — neither can occur in these tests, so any
+// error is a bug).
+func mustMap(t testing.TB, ar arch.Arch, g *dfg.Graph, alg Algorithm, lbl *labels.Labels, opts Options) Result {
+	t.Helper()
+	res, err := Map(ar, g, alg, lbl, opts)
+	if err != nil {
+		t.Fatalf("Map(%s): %v", alg, err)
+	}
+	return res
+}

@@ -15,11 +15,13 @@
 package mapper
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
 	"github.com/lisa-go/lisa/internal/arch"
 	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/fault"
 	"github.com/lisa-go/lisa/internal/labels"
 )
 
@@ -94,6 +96,17 @@ type Result struct {
 	Moves       int     // total SA movements across the II sweep
 	Duration    time.Duration
 	TriedIIs    []int // the II values attempted, in order
+
+	// DeadlineExceeded reports that the time budget expired before a valid
+	// mapping was found: the II sweep was cut short (or its last attempt
+	// truncated) by Options.TimeLimit. Always false when OK.
+	DeadlineExceeded bool
+	// Degraded names the fallback chain that produced this result (e.g.
+	// "lisa→sa: labels unavailable"). It is written by the engine-level
+	// degradation ladder (internal/engine); direct mapper runs leave it
+	// empty. A non-empty chain marks the result as degraded: correct and
+	// verified, but not what the requested engine would have produced.
+	Degraded []string
 }
 
 // Stats converts a successful Result into the architecture-agnostic view the
@@ -114,16 +127,28 @@ func (r *Result) Stats(ar arch.Arch) *labels.MappingStats {
 
 // Map runs the selected algorithm for g on ar. lbl supplies the labels for
 // AlgSARP, AlgLISA and AlgPart; it may be nil for AlgSA/AlgSAM (and defaults
-// to the §V-B initialization for the label-using engines when nil).
-func Map(ar arch.Arch, g *dfg.Graph, alg Algorithm, lbl *labels.Labels, opts Options) Result {
+// to the §V-B initialization for the label-using engines when nil). It
+// returns an error for an unknown algorithm and for injected faults
+// (internal/fault); a mapping that merely fails to converge is not an
+// error — it is a Result with OK=false.
+func Map(ar arch.Arch, g *dfg.Graph, alg Algorithm, lbl *labels.Labels, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	an := dfg.Analyze(g)
 	if lbl == nil {
 		lbl = labels.Initial(an)
 	}
-	cfg := engineConfig(alg, &opts)
+	cfg, err := engineConfig(alg, &opts)
+	if err != nil {
+		return Result{}, err
+	}
 
 	start := time.Now()
+	// Fault site mapper.anneal, streamed by the annealer seed: error mode
+	// aborts the engine (the degradation ladder's cue), latency mode burns
+	// the request's time budget before the sweep starts.
+	if err := fault.Inject(fault.MapperAnneal, uint64(opts.Seed)); err != nil {
+		return Result{}, fmt.Errorf("mapper: %s engine: %w", alg, err)
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	maxII := ar.MaxII()
 	if opts.MaxII > 0 && opts.MaxII < maxII {
@@ -141,8 +166,13 @@ func Map(ar arch.Arch, g *dfg.Graph, alg Algorithm, lbl *labels.Labels, opts Opt
 		}
 		res.TriedIIs = append(res.TriedIIs, ii)
 		st := newState(ar, g, an, ii, lbl, cfg, opts.Alpha, rng)
+		st.faultToken = uint64(opts.Seed)
 		ok, moves := st.anneal(opts, start)
 		res.Moves += moves
+		if st.faultErr != nil {
+			res.Duration = time.Since(start)
+			return res, fmt.Errorf("mapper: %s engine: %w", alg, st.faultErr)
+		}
 		if ok {
 			res.OK = true
 			res.II = ii
@@ -159,7 +189,12 @@ func Map(ar arch.Arch, g *dfg.Graph, alg Algorithm, lbl *labels.Labels, opts Opt
 		}
 	}
 	res.Duration = time.Since(start)
-	return res
+	if !res.OK && opts.TimeLimit > 0 && res.Duration > opts.TimeLimit {
+		// The budget, not the search space, ended the sweep: the engine
+		// ladder uses this to substitute a deterministic greedy fallback.
+		res.DeadlineExceeded = true
+	}
+	return res, nil
 }
 
 // config captures which parts of Algorithm 1 an engine uses.
@@ -170,27 +205,27 @@ type config struct {
 	partial            bool // labels only seed the initial mapping
 }
 
-func engineConfig(alg Algorithm, opts *Options) config {
+func engineConfig(alg Algorithm, opts *Options) (config, error) {
 	switch alg {
 	case AlgSA:
-		return config{}
+		return config{}, nil
 	case AlgSAM:
 		opts.MovesPerTemp *= 10
 		opts.MaxMoves *= 10
-		return config{}
+		return config{}, nil
 	case AlgSARP:
-		return config{useRoutingPriority: true}
+		return config{useRoutingPriority: true}, nil
 	case AlgPart:
 		return config{
 			useOrderLabel: true, usePlacementLabels: true,
 			useRoutingPriority: true, partial: true,
-		}
+		}, nil
 	case AlgLISA:
 		return config{
 			useOrderLabel: true, usePlacementLabels: true,
 			useRoutingPriority: true,
-		}
+		}, nil
 	default:
-		panic("mapper: unknown algorithm " + string(alg))
+		return config{}, fmt.Errorf("mapper: unknown algorithm %q", alg)
 	}
 }

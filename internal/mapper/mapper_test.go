@@ -20,7 +20,7 @@ func TestLISAMapsAllKernelsOn4x4(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	for _, name := range kernels.Names() {
 		g := kernels.MustByName(name)
-		res := Map(ar, g, AlgLISA, nil, quickOpts(7))
+		res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(7))
 		if !res.OK {
 			t.Errorf("%s: LISA failed on 4x4 baseline", name)
 			continue
@@ -38,7 +38,7 @@ func TestLISAMapsKernelsOn3x3(t *testing.T) {
 	ar := arch.NewBaseline3x3()
 	for _, name := range []string{"gemm", "syrk", "doitgen", "atax"} {
 		g := kernels.MustByName(name)
-		res := Map(ar, g, AlgLISA, nil, quickOpts(11))
+		res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(11))
 		if !res.OK {
 			t.Errorf("%s: LISA failed on 3x3", name)
 			continue
@@ -52,7 +52,7 @@ func TestLISAMapsKernelsOn3x3(t *testing.T) {
 func TestMapOnLessMemRespectsPolicy(t *testing.T) {
 	ar := arch.NewLessMem4x4()
 	g := kernels.MustByName("gemm")
-	res := Map(ar, g, AlgLISA, nil, quickOpts(3))
+	res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(3))
 	if !res.OK {
 		t.Fatal("LISA failed on less-mem 4x4")
 	}
@@ -72,7 +72,7 @@ func TestSystolicMapping(t *testing.T) {
 	ar := arch.NewSystolic5x5()
 	// doitgen: small, mul/add only -> mappable.
 	g := kernels.MustByName("doitgen")
-	res := Map(ar, g, AlgLISA, nil, quickOpts(5))
+	res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(5))
 	if !res.OK {
 		t.Fatal("LISA failed to map doitgen on systolic array")
 	}
@@ -81,7 +81,7 @@ func TestSystolicMapping(t *testing.T) {
 	}
 	// trmm: cmp/select are not executable on any systolic PE.
 	tr := kernels.MustByName("trmm")
-	res2 := Map(ar, tr, AlgLISA, nil, quickOpts(5))
+	res2 := mustMap(t, ar, tr, AlgLISA, nil, quickOpts(5))
 	if res2.OK {
 		t.Fatal("trmm must be unmappable on the systolic array")
 	}
@@ -94,7 +94,7 @@ func TestAllAlgorithmsProduceValidMappings(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("syrk")
 	for _, alg := range []Algorithm{AlgSA, AlgSARP, AlgSAM, AlgLISA, AlgPart} {
-		res := Map(ar, g, alg, nil, quickOpts(2))
+		res := mustMap(t, ar, g, alg, nil, quickOpts(2))
 		if !res.OK {
 			t.Errorf("%s: failed to map syrk", alg)
 			continue
@@ -108,8 +108,8 @@ func TestAllAlgorithmsProduceValidMappings(t *testing.T) {
 func TestDeterministicWithSeed(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("gemm")
-	r1 := Map(ar, g, AlgLISA, nil, quickOpts(42))
-	r2 := Map(ar, g, AlgLISA, nil, quickOpts(42))
+	r1 := mustMap(t, ar, g, AlgLISA, nil, quickOpts(42))
+	r2 := mustMap(t, ar, g, AlgLISA, nil, quickOpts(42))
 	if r1.OK != r2.OK || r1.II != r2.II || r1.Moves != r2.Moves {
 		t.Fatalf("same seed diverged: %+v vs %+v", r1, r2)
 	}
@@ -127,8 +127,8 @@ func TestLISABeatsOrMatchesSAOnII(t *testing.T) {
 	better, worse := 0, 0
 	for _, name := range []string{"gemm", "atax", "bicg", "syrk", "syr2k", "gesummv"} {
 		g := kernels.MustByName(name)
-		lisa := Map(ar, g, AlgLISA, nil, quickOpts(9))
-		sa := Map(ar, g, AlgSA, nil, quickOpts(9))
+		lisa := mustMap(t, ar, g, AlgLISA, nil, quickOpts(9))
+		sa := mustMap(t, ar, g, AlgSA, nil, quickOpts(9))
 		switch {
 		case !sa.OK && lisa.OK:
 			better++
@@ -151,7 +151,7 @@ func TestUnrolledMappingOn8x8(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Map(ar, g, AlgLISA, nil, quickOpts(13))
+	res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(13))
 	if !res.OK {
 		t.Fatal("LISA failed on unrolled gemm / 8x8")
 	}
@@ -167,7 +167,7 @@ func TestPartialModeUsesLabelsOnlyInitially(t *testing.T) {
 	g := kernels.MustByName("doitgen")
 	an := dfg.Analyze(g)
 	lbl := labels.Initial(an)
-	res := Map(ar, g, AlgPart, lbl, quickOpts(21))
+	res := mustMap(t, ar, g, AlgPart, lbl, quickOpts(21))
 	if !res.OK {
 		t.Fatal("partial label-aware SA failed")
 	}
@@ -179,7 +179,7 @@ func TestPartialModeUsesLabelsOnlyInitially(t *testing.T) {
 func TestStatsConversion(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("gemm")
-	res := Map(ar, g, AlgLISA, nil, quickOpts(1))
+	res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(1))
 	if !res.OK {
 		t.Fatal("map failed")
 	}
@@ -211,7 +211,7 @@ func TestMapRandomDFGsAlwaysVerifies(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		g := dfg.Random(rng, dfg.DefaultRandomConfig(), "fuzz")
-		res := Map(ar, g, AlgLISA, nil, Options{Seed: seed, MaxMoves: 1200})
+		res := mustMap(t, ar, g, AlgLISA, nil, Options{Seed: seed, MaxMoves: 1200})
 		if !res.OK {
 			continue
 		}
@@ -236,7 +236,7 @@ func TestOptionsDefaults(t *testing.T) {
 func TestVerifyCatchesCorruption(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("gemm")
-	res := Map(ar, g, AlgLISA, nil, quickOpts(1))
+	res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(1))
 	if !res.OK {
 		t.Fatal("map failed")
 	}
@@ -261,7 +261,7 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 func TestMaxIICapRespected(t *testing.T) {
 	ar := arch.NewBaseline3x3()
 	g := kernels.MustByName("syr2k")
-	res := Map(ar, g, AlgSA, nil, Options{Seed: 1, MaxMoves: 50, MaxII: 3})
+	res := mustMap(t, ar, g, AlgSA, nil, Options{Seed: 1, MaxMoves: 50, MaxII: 3})
 	for _, ii := range res.TriedIIs {
 		if ii > 3 {
 			t.Fatalf("tried II %d beyond cap", ii)
@@ -273,7 +273,7 @@ func TestTimeLimitStopsSweep(t *testing.T) {
 	ar := arch.NewBaseline3x3()
 	g := kernels.MustByName("syr2k")
 	start := time.Now()
-	res := Map(ar, g, AlgSA, nil, Options{
+	res := mustMap(t, ar, g, AlgSA, nil, Options{
 		Seed: 1, MaxMoves: 1 << 20, TimeLimit: 60 * time.Millisecond, MaxII: 4,
 	})
 	elapsed := time.Since(start)
@@ -294,7 +294,7 @@ func TestTinyTimeLimitBoundsWholeSweep(t *testing.T) {
 	ar := arch.NewBaseline3x3()
 	g := kernels.MustByName("syr2k")
 	start := time.Now()
-	res := Map(ar, g, AlgSA, nil, Options{
+	res := mustMap(t, ar, g, AlgSA, nil, Options{
 		Seed: 1, MaxMoves: 1 << 20, TimeLimit: time.Nanosecond, MaxII: 6,
 	})
 	elapsed := time.Since(start)
@@ -312,7 +312,7 @@ func TestTinyTimeLimitBoundsWholeSweep(t *testing.T) {
 func TestRoutesFieldConsistent(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("bicg")
-	res := Map(ar, g, AlgLISA, nil, quickOpts(12))
+	res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(12))
 	if !res.OK {
 		t.Fatal("map failed")
 	}

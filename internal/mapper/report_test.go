@@ -11,7 +11,7 @@ import (
 func TestUtilize(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("gemm")
-	res := Map(ar, g, AlgLISA, nil, quickOpts(1))
+	res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(1))
 	if !res.OK {
 		t.Fatal("map failed")
 	}
@@ -41,7 +41,7 @@ func TestUtilize(t *testing.T) {
 func TestScheduleTable(t *testing.T) {
 	ar := arch.NewBaseline3x3()
 	g := kernels.MustByName("doitgen")
-	res := Map(ar, g, AlgLISA, nil, quickOpts(2))
+	res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(2))
 	if !res.OK {
 		t.Fatal("map failed")
 	}
@@ -64,7 +64,7 @@ func TestScheduleTable(t *testing.T) {
 func TestCriticalEdges(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("atax")
-	res := Map(ar, g, AlgLISA, nil, quickOpts(3))
+	res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(3))
 	if !res.OK {
 		t.Fatal("map failed")
 	}
@@ -84,7 +84,7 @@ func TestMapOnTorusAndHetero(t *testing.T) {
 	for _, ar := range []arch.Arch{arch.NewTorus4x4(), arch.NewHetero4x4()} {
 		for _, name := range []string{"gemm", "syr2k"} {
 			g := kernels.MustByName(name)
-			res := Map(ar, g, AlgLISA, nil, quickOpts(6))
+			res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(6))
 			if !res.OK {
 				t.Errorf("%s on %s: mapping failed", name, ar.Name())
 				continue
@@ -99,7 +99,7 @@ func TestMapOnTorusAndHetero(t *testing.T) {
 func TestHeteroPlacesMulsOnMultiplierPEs(t *testing.T) {
 	ar := arch.NewHetero4x4()
 	g := kernels.MustByName("gemm")
-	res := Map(ar, g, AlgLISA, nil, quickOpts(9))
+	res := mustMap(t, ar, g, AlgLISA, nil, quickOpts(9))
 	if !res.OK {
 		t.Fatal("map failed")
 	}

@@ -22,22 +22,29 @@ type resultJSON struct {
 	Moves       int     `json:"moves"`
 	DurationNS  int64   `json:"durationNs"`
 	TriedIIs    []int   `json:"triedIIs,omitempty"`
+	// Robustness fields: both are zero on the healthy path, and omitted
+	// from the wire so pre-existing payloads decode and healthy responses
+	// stay byte-identical to the pre-fault-layer format.
+	DeadlineExceeded bool     `json:"deadlineExceeded,omitempty"`
+	Degraded         []string `json:"degraded,omitempty"`
 }
 
 // MarshalJSON encodes the result in the stable wire schema. Field order is
 // fixed by the schema struct, so equal results always produce equal bytes.
 func (r Result) MarshalJSON() ([]byte, error) {
 	return json.Marshal(resultJSON{
-		OK:          r.OK,
-		II:          r.II,
-		PE:          r.PE,
-		Time:        r.Time,
-		EdgeHops:    r.EdgeHops,
-		Routes:      r.Routes,
-		RoutingCost: r.RoutingCost,
-		Moves:       r.Moves,
-		DurationNS:  int64(r.Duration),
-		TriedIIs:    r.TriedIIs,
+		OK:               r.OK,
+		II:               r.II,
+		PE:               r.PE,
+		Time:             r.Time,
+		EdgeHops:         r.EdgeHops,
+		Routes:           r.Routes,
+		RoutingCost:      r.RoutingCost,
+		Moves:            r.Moves,
+		DurationNS:       int64(r.Duration),
+		TriedIIs:         r.TriedIIs,
+		DeadlineExceeded: r.DeadlineExceeded,
+		Degraded:         r.Degraded,
 	})
 }
 
@@ -60,16 +67,18 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		}
 	}
 	*r = Result{
-		OK:          f.OK,
-		II:          f.II,
-		PE:          f.PE,
-		Time:        f.Time,
-		EdgeHops:    f.EdgeHops,
-		Routes:      f.Routes,
-		RoutingCost: f.RoutingCost,
-		Moves:       f.Moves,
-		Duration:    time.Duration(f.DurationNS),
-		TriedIIs:    f.TriedIIs,
+		OK:               f.OK,
+		II:               f.II,
+		PE:               f.PE,
+		Time:             f.Time,
+		EdgeHops:         f.EdgeHops,
+		Routes:           f.Routes,
+		RoutingCost:      f.RoutingCost,
+		Moves:            f.Moves,
+		Duration:         time.Duration(f.DurationNS),
+		TriedIIs:         f.TriedIIs,
+		DeadlineExceeded: f.DeadlineExceeded,
+		Degraded:         f.Degraded,
 	}
 	return nil
 }

@@ -13,7 +13,7 @@ import (
 func TestResultJSONRoundTrip(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("gemm")
-	res := Map(ar, g, AlgSA, nil, Options{Seed: 5, MaxMoves: 1600})
+	res := mustMap(t, ar, g, AlgSA, nil, Options{Seed: 5, MaxMoves: 1600})
 	if !res.OK {
 		t.Fatal("gemm failed to map")
 	}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/lisa-go/lisa/internal/arch"
 	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/fault"
 	"github.com/lisa-go/lisa/internal/labels"
 	"github.com/lisa-go/lisa/internal/rgraph"
 )
@@ -55,6 +56,9 @@ type state struct {
 	attempted, accepted int     // for σ = max{1, α·T − Acc}
 	alpha               float64 // α of Algorithm 1 line 7
 	initialPhase        bool    // partial mode: labels only apply here
+
+	faultToken uint64 // per-request fault stream token (the annealer seed)
+	faultErr   error  // first injected router fault; aborts the sweep
 }
 
 func newState(ar arch.Arch, g *dfg.Graph, an *dfg.Analysis, ii int,
@@ -139,6 +143,11 @@ func (st *state) anneal(opts Options, start time.Time) (bool, int) {
 	temp := opts.InitTemp
 	moves := 0
 	for moves < opts.MaxMoves {
+		if st.faultErr != nil {
+			// An injected router fault makes every further route attempt
+			// moot; stop burning the movement budget.
+			return false, moves
+		}
 		if st.valid() {
 			return true, moves
 		}
@@ -463,6 +472,15 @@ func (st *state) routePending() {
 // routeEdge routes one edge with Dijkstra (Algorithm 1 line 11); the hop
 // count is fixed by the endpoints' schedule times.
 func (st *state) routeEdge(e int) bool {
+	// Fault site router.dijkstra: an injected error fails the route and
+	// aborts the sweep (Map surfaces st.faultErr), so the engine ladder can
+	// substitute a fallback; disabled, this is one atomic load.
+	if err := fault.Inject(fault.RouterDijkstra, st.faultToken); err != nil {
+		if st.faultErr == nil {
+			st.faultErr = err
+		}
+		return false
+	}
 	ed := st.g.Edges[e]
 	hops := st.time[ed.To] - st.time[ed.From]
 	if hops < 1 {

@@ -1,6 +1,10 @@
 package parallel
 
-import "sync"
+import (
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
 
 // Pool is the serving-side counterpart of ForEach: a fixed set of worker
 // goroutines draining a bounded queue. ForEach fans a known batch out and
@@ -8,9 +12,16 @@ import "sync"
 // which is exactly the admission-control contract a request handler needs —
 // the caller turns a refusal into backpressure (HTTP 429) instead of letting
 // latency grow without bound.
+//
+// Workers are panic-fenced: a task that panics is caught (with its stack)
+// instead of killing the process, and the worker keeps draining the queue.
+// This is the last-resort fence — tasks that own a completion channel must
+// still recover for themselves, or their waiters block forever.
 type Pool struct {
 	tasks chan func()
 	wg    sync.WaitGroup
+
+	onPanic atomic.Pointer[func(recovered any, stack []byte)]
 
 	mu     sync.RWMutex
 	closed bool
@@ -29,11 +40,34 @@ func NewPool(workers, queue int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for fn := range p.tasks {
-				fn()
+				p.run(fn)
 			}
 		}()
 	}
 	return p
+}
+
+// OnPanic installs a handler called with the recovered value and stack of
+// every task panic (nil restores the default of swallowing silently). The
+// daemon points this at its crash log and panic counter.
+func (p *Pool) OnPanic(fn func(recovered any, stack []byte)) {
+	if fn == nil {
+		p.onPanic.Store(nil)
+		return
+	}
+	p.onPanic.Store(&fn)
+}
+
+// run executes one task behind the worker's panic fence.
+func (p *Pool) run(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if h := p.onPanic.Load(); h != nil {
+				(*h)(r, debug.Stack())
+			}
+		}
+	}()
+	fn()
 }
 
 // TrySubmit offers fn to the pool. It returns false — without blocking —

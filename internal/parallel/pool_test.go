@@ -82,3 +82,64 @@ func TestPoolSubmitCloseRace(t *testing.T) {
 	p.Close()
 	wg.Wait()
 }
+
+// A panicking task must not kill its worker: every other task still runs,
+// and the installed handler observes the panic value and a stack trace.
+func TestPoolSurvivesPanickingTasks(t *testing.T) {
+	p := NewPool(2, 64)
+	defer p.Close()
+
+	var panics atomic.Int32
+	var sawStack atomic.Bool
+	p.OnPanic(func(recovered any, stack []byte) {
+		panics.Add(1)
+		if recovered == "boom" && len(stack) > 0 {
+			sawStack.Store(true)
+		}
+	})
+
+	const tasks = 40
+	var ran atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		i := i
+		wg.Add(1)
+		ok := p.TrySubmit(func() {
+			defer wg.Done()
+			if i%4 == 0 {
+				panic("boom")
+			}
+			ran.Add(1)
+		})
+		if !ok {
+			wg.Done()
+			t.Fatalf("task %d refused by an idle pool", i)
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != tasks-tasks/4 {
+		t.Fatalf("ran %d non-panicking tasks, want %d", got, tasks-tasks/4)
+	}
+	if got := panics.Load(); got != tasks/4 {
+		t.Fatalf("handler saw %d panics, want %d", got, tasks/4)
+	}
+	if !sawStack.Load() {
+		t.Fatal("handler never saw the panic value with a stack trace")
+	}
+}
+
+func TestPoolPanicWithoutHandlerIsSwallowed(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	done := make(chan struct{})
+	if !p.TrySubmit(func() { defer close(done); panic("quiet") }) {
+		t.Fatal("submit refused")
+	}
+	<-done
+	// The worker must still be alive to run this.
+	ok := make(chan struct{})
+	if !p.TrySubmit(func() { close(ok) }) {
+		t.Fatal("submit after panic refused")
+	}
+	<-ok
+}

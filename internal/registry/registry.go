@@ -1,13 +1,21 @@
-// Package registry caches one trained GNN model per architecture behind a
-// per-architecture sync.Once. It generalizes the experiment grid's
-// Context.ModelFor pattern so the long-lived serving daemon and the
-// experiment runners share one implementation: models can be pre-loaded
-// from disk at startup (offline training, the paper's intended deployment)
-// or trained lazily on first use, and concurrent callers for one target
-// always observe exactly one training run.
+// Package registry caches one trained GNN model per architecture. It
+// generalizes the experiment grid's Context.ModelFor pattern so the
+// long-lived serving daemon and the experiment runners share one
+// implementation: models can be pre-loaded from disk at startup (offline
+// training, the paper's intended deployment) or trained lazily on first
+// use, and concurrent callers for one target always observe exactly one
+// training run.
+//
+// Each architecture slot is a small state machine (idle → busy → ready |
+// failed) rather than a sync.Once: a training run that errors or panics
+// parks the slot in failed with the cause cached, where it answers every
+// subsequent request instantly instead of wedging callers or silently
+// retraining on each hit. Failed slots heal through Put (a later offline
+// model wins) or an explicit Retry (the daemon's reload path).
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -17,9 +25,17 @@ import (
 	"sync"
 
 	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/attr"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/fault"
 	"github.com/lisa-go/lisa/internal/gnn"
+	"github.com/lisa-go/lisa/internal/labels"
 	"github.com/lisa-go/lisa/internal/traingen"
 )
+
+// ErrAlreadyLoaded marks a LoadFile that lost to an existing model for the
+// same architecture — expected (and skippable) on a reload rescan.
+var ErrAlreadyLoaded = errors.New("model already registered")
 
 // Config sets the budgets used when a model must be trained on demand.
 type Config struct {
@@ -42,14 +58,23 @@ type Registry struct {
 	entries map[string]*entry
 }
 
-// entry is the per-architecture slot; once gates training so concurrent
-// ModelFor calls for one target resolve exactly one model.
+// trainState is the lifecycle of one architecture slot.
+type trainState int
+
+const (
+	stateIdle   trainState = iota // nothing resolved, no training in flight
+	stateBusy                     // one training run in flight; wait on done
+	stateReady                    // model resolved
+	stateFailed                   // last training attempt failed; err cached
+)
+
+// entry is the per-architecture slot.
 type entry struct {
-	once   sync.Once
-	model  *gnn.Model
-	stats  traingen.Stats
-	err    error
-	loaded bool // true when pre-loaded from disk rather than trained here
+	state trainState
+	done  chan struct{} // closed when the in-flight training settles (busy only)
+	model *gnn.Model
+	stats traingen.Stats
+	err   error
 }
 
 // New creates an empty registry.
@@ -57,9 +82,8 @@ func New(cfg Config) *Registry {
 	return &Registry{cfg: cfg, entries: make(map[string]*entry)}
 }
 
-func (r *Registry) entryFor(name string) *entry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// ensure returns the slot for name, creating an idle one. r.mu must be held.
+func (r *Registry) ensure(name string) *entry {
 	e, ok := r.entries[name]
 	if !ok {
 		e = &entry{}
@@ -68,25 +92,30 @@ func (r *Registry) entryFor(name string) *entry {
 	return e
 }
 
-// Put registers a pre-trained model under its architecture name. The first
-// resolution for a name wins: a Put before any ModelFor call pins the model;
-// a Put after the entry resolved is a no-op and returns false.
+// Put registers a pre-trained model under its architecture name. It wins
+// over idle and failed slots (healing a cached training failure) and loses
+// to a ready model or an in-flight training run, returning false.
 func (r *Registry) Put(m *gnn.Model) bool {
-	e := r.entryFor(m.ArchName)
-	won := false
-	e.once.Do(func() {
-		r.mu.Lock()
-		e.model = m
-		e.loaded = true
-		r.mu.Unlock()
-		won = true
-	})
-	return won
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.ensure(m.ArchName)
+	switch e.state {
+	case stateReady, stateBusy:
+		return false
+	}
+	e.state = stateReady
+	e.model = m
+	e.stats = traingen.Stats{}
+	e.err = nil
+	return true
 }
 
 // LoadFile reads one model file saved by lisa-train / gnn.Save and registers
 // it, returning the architecture name it serves.
 func (r *Registry) LoadFile(path string) (string, error) {
+	if err := fault.Inject(fault.RegistryLoad, fault.Token(path)); err != nil {
+		return "", fmt.Errorf("registry: %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return "", err
@@ -100,7 +129,7 @@ func (r *Registry) LoadFile(path string) (string, error) {
 		return "", fmt.Errorf("registry: %s: model file names no architecture", path)
 	}
 	if !r.Put(m) {
-		return m.ArchName, fmt.Errorf("registry: %s: model for %q already registered", path, m.ArchName)
+		return m.ArchName, fmt.Errorf("registry: %s: model for %q: %w", path, m.ArchName, ErrAlreadyLoaded)
 	}
 	return m.ArchName, nil
 }
@@ -134,7 +163,7 @@ func (r *Registry) Ready() []string {
 	defer r.mu.Unlock()
 	var names []string
 	for name, e := range r.entries {
-		if e.model != nil {
+		if e.state == stateReady {
 			names = append(names, name)
 		}
 	}
@@ -147,48 +176,114 @@ func (r *Registry) Has(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.entries[name]
-	return ok && e.model != nil
+	return ok && e.state == stateReady
+}
+
+// Err returns the cached error of a failed slot, nil otherwise. It lets the
+// daemon's /v1/archs report *why* a target has no model without re-running
+// the failed training.
+func (r *Registry) Err(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok || e.state != stateFailed {
+		return nil
+	}
+	return e.err
+}
+
+// Retry clears a failed slot back to idle so the next ModelFor may train
+// again, reporting whether there was a cached failure to clear. This is the
+// one deliberate way to spend a second training attempt on a poisoned
+// target (the daemon's reload path); ordinary requests only ever pay once.
+func (r *Registry) Retry(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok || e.state != stateFailed {
+		return false
+	}
+	e.state = stateIdle
+	e.err = nil
+	return true
 }
 
 // ModelFor returns the model for ar, training it on first use when the
 // config allows (training-data generation + four-network training, §V and
-// §IV). Safe for concurrent use; each architecture trains at most once, and
-// a disallowed lazy training reports an error without poisoning the slot.
+// §IV). Safe for concurrent use; each architecture trains at most once. A
+// failed training run is cached: later calls return the same error until
+// Put or Retry heals the slot, so one bad target cannot wedge its waiters
+// or retrain per request.
 func (r *Registry) ModelFor(ar arch.Arch) (*gnn.Model, error) {
-	e := r.entryFor(ar.Name())
-	if !r.cfg.TrainOnDemand {
-		// Don't burn the once: a model may still be Put/loaded later.
+	name := ar.Name()
+	for {
 		r.mu.Lock()
-		m := e.model
+		e := r.ensure(name)
+		switch e.state {
+		case stateReady:
+			m := e.model
+			r.mu.Unlock()
+			return m, nil
+		case stateFailed:
+			err := e.err
+			r.mu.Unlock()
+			return nil, err
+		case stateBusy:
+			done := e.done
+			r.mu.Unlock()
+			<-done
+			continue // re-read the settled state
+		}
+		// Idle: either train here or report that we may not.
+		if !r.cfg.TrainOnDemand {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("registry: no model loaded for %q and on-demand training is disabled", name)
+		}
+		e.state = stateBusy
+		e.done = make(chan struct{})
 		r.mu.Unlock()
-		if m == nil {
-			return nil, fmt.Errorf("registry: no model loaded for %q and on-demand training is disabled", ar.Name())
-		}
-		return m, nil
-	}
-	e.once.Do(func() {
-		cfg := r.cfg.TrainGen
-		cfg.Seed = r.cfg.Seed
-		if cfg.Workers == 0 {
-			cfg.Workers = r.cfg.Workers
-		}
-		// An empty sample set leaves the model at its random init — the
-		// label engines degrade gracefully, matching the experiment grid's
-		// historical behavior under tiny smoke-test budgets.
-		ds := traingen.Generate(ar, cfg)
-		m := gnn.NewModel(rand.New(rand.NewSource(r.cfg.Seed)), ar.Name())
-		m.Train(ds.Samples, r.cfg.TrainCfg)
+
+		m, stats, err := r.train(ar)
+
 		r.mu.Lock()
-		e.model, e.stats = m, ds.Stats
+		if err != nil {
+			e.state = stateFailed
+			e.err = err
+		} else {
+			e.state = stateReady
+			e.model, e.stats, e.err = m, stats, nil
+		}
+		close(e.done)
+		e.done = nil
 		r.mu.Unlock()
-	})
-	if e.err != nil {
-		return nil, e.err
 	}
-	r.mu.Lock()
-	m := e.model
-	r.mu.Unlock()
-	return m, nil
+}
+
+// train runs one on-demand training pass outside the registry lock. A panic
+// anywhere in generation or training (an injected fault or an organic bug)
+// becomes the slot's cached error instead of a crashed caller.
+func (r *Registry) train(ar arch.Arch) (m *gnn.Model, stats traingen.Stats, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			m, stats = nil, traingen.Stats{}
+			err = fmt.Errorf("registry: training for %q panicked: %v", ar.Name(), rec)
+		}
+	}()
+	if err := fault.Inject(fault.GNNTrain, fault.Token(ar.Name())); err != nil {
+		return nil, traingen.Stats{}, fmt.Errorf("registry: training for %q: %w", ar.Name(), err)
+	}
+	cfg := r.cfg.TrainGen
+	cfg.Seed = r.cfg.Seed
+	if cfg.Workers == 0 {
+		cfg.Workers = r.cfg.Workers
+	}
+	// An empty sample set leaves the model at its random init — the
+	// label engines degrade gracefully, matching the experiment grid's
+	// historical behavior under tiny smoke-test budgets.
+	ds := traingen.Generate(ar, cfg)
+	model := gnn.NewModel(rand.New(rand.NewSource(r.cfg.Seed)), ar.Name())
+	model.Train(ds.Samples, r.cfg.TrainCfg)
+	return model, ds.Stats, nil
 }
 
 // StatsFor reports the dataset-generation stats behind ar's model, training
@@ -197,10 +292,21 @@ func (r *Registry) StatsFor(ar arch.Arch) (traingen.Stats, error) {
 	if _, err := r.ModelFor(ar); err != nil {
 		return traingen.Stats{}, err
 	}
-	e := r.entryFor(ar.Name())
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return e.stats, nil
+	return r.ensure(ar.Name()).stats, nil
+}
+
+// LabelsFor predicts the four mapper labels for g using ar's model; it is
+// the engine.LabelSource the daemon and CLIs hand to engine.Run, so a
+// training failure surfaces there as the ladder's labels-unavailable rung
+// rather than an aborted request.
+func (r *Registry) LabelsFor(ar arch.Arch, g *dfg.Graph) (*labels.Labels, error) {
+	m, err := r.ModelFor(ar)
+	if err != nil {
+		return nil, err
+	}
+	return m.Predict(attr.Generate(g)), nil
 }
 
 // String summarizes the registry for logs.

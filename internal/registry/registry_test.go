@@ -4,12 +4,15 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
 	"github.com/lisa-go/lisa/internal/arch"
 	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/fault"
 	"github.com/lisa-go/lisa/internal/gnn"
+	"github.com/lisa-go/lisa/internal/kernels"
 	"github.com/lisa-go/lisa/internal/labels"
 	"github.com/lisa-go/lisa/internal/mapper"
 	"github.com/lisa-go/lisa/internal/traingen"
@@ -144,5 +147,165 @@ func TestLoadDirRejectsCorruptFile(t *testing.T) {
 	r := New(quickCfg())
 	if _, err := r.LoadDir(dir); err == nil {
 		t.Fatal("LoadDir accepted a corrupt model file")
+	}
+}
+
+// A failed training run must park the slot: every later ModelFor returns
+// the same cached error instantly, with no second training attempt.
+func TestTrainingFailureIsCachedNotRetried(t *testing.T) {
+	plan, err := fault.ParsePlan("gnn.train=error:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Activate(plan); err != nil {
+		t.Fatal(err)
+	}
+	r := New(quickCfg())
+	ar := arch.NewBaseline4x4()
+	_, err1 := r.ModelFor(ar)
+	if err1 == nil {
+		t.Fatal("ModelFor succeeded with the gnn.train fault armed")
+	}
+	// Disarm: a retraining attempt would now succeed, so a second error
+	// proves the failure was cached rather than re-executed.
+	fault.Deactivate()
+	_, err2 := r.ModelFor(ar)
+	if err2 == nil {
+		t.Fatal("failed slot silently retrained on the second ModelFor")
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("cached error changed: %q vs %q", err1, err2)
+	}
+	if got := r.Err(ar.Name()); got == nil || got.Error() != err1.Error() {
+		t.Fatalf("Err(%q) = %v, want the cached training error", ar.Name(), got)
+	}
+	if r.Has(ar.Name()) {
+		t.Fatal("Has reports a model for a failed slot")
+	}
+}
+
+func TestTrainingPanicBecomesCachedError(t *testing.T) {
+	plan, err := fault.ParsePlan("gnn.train=panic:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Activate(plan); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Deactivate()
+	r := New(quickCfg())
+	ar := arch.NewBaseline4x4()
+	_, err1 := r.ModelFor(ar)
+	if err1 == nil || !strings.Contains(err1.Error(), "panicked") {
+		t.Fatalf("ModelFor under a panic fault = %v, want a cached panic error", err1)
+	}
+}
+
+func TestRetryClearsFailedSlot(t *testing.T) {
+	plan, err := fault.ParsePlan("gnn.train=error:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Activate(plan); err != nil {
+		t.Fatal(err)
+	}
+	r := New(quickCfg())
+	ar := arch.NewBaseline4x4()
+	if _, err := r.ModelFor(ar); err == nil {
+		fault.Deactivate()
+		t.Fatal("ModelFor succeeded with the gnn.train fault armed")
+	}
+	fault.Deactivate()
+	if r.Retry("no-such-arch") {
+		t.Fatal("Retry cleared a slot that never existed")
+	}
+	if !r.Retry(ar.Name()) {
+		t.Fatal("Retry found nothing to clear on a failed slot")
+	}
+	if r.Retry(ar.Name()) {
+		t.Fatal("second Retry claimed to clear an already-idle slot")
+	}
+	if _, err := r.ModelFor(ar); err != nil {
+		t.Fatalf("ModelFor after Retry: %v", err)
+	}
+	if got := r.Err(ar.Name()); got != nil {
+		t.Fatalf("Err after successful retrain = %v", got)
+	}
+}
+
+func TestPutHealsFailedSlot(t *testing.T) {
+	plan, err := fault.ParsePlan("gnn.train=error:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Activate(plan); err != nil {
+		t.Fatal(err)
+	}
+	r := New(quickCfg())
+	ar := arch.NewBaseline4x4()
+	if _, err := r.ModelFor(ar); err == nil {
+		fault.Deactivate()
+		t.Fatal("ModelFor succeeded with the gnn.train fault armed")
+	}
+	fault.Deactivate()
+	pre := gnn.NewModel(rand.New(rand.NewSource(9)), ar.Name())
+	if !r.Put(pre) {
+		t.Fatal("Put did not heal the failed slot")
+	}
+	if m, err := r.ModelFor(ar); err != nil || m != pre {
+		t.Fatalf("ModelFor after healing Put = (%v, %v), want the pre-loaded model", m, err)
+	}
+}
+
+func TestLoadFileFaultSite(t *testing.T) {
+	dir := t.TempDir()
+	ar := arch.NewBaseline4x4()
+	m := gnn.NewModel(rand.New(rand.NewSource(3)), ar.Name())
+	path := filepath.Join(dir, ar.Name()+".model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	plan, err := fault.ParsePlan("registry.load=error:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Activate(plan); err != nil {
+		t.Fatal(err)
+	}
+	r := New(quickCfg())
+	if _, err := r.LoadFile(path); err == nil {
+		fault.Deactivate()
+		t.Fatal("LoadFile succeeded with the registry.load fault armed")
+	}
+	fault.Deactivate()
+	// The failed load leaves no residue: the same file loads cleanly.
+	if name, err := r.LoadFile(path); err != nil || name != ar.Name() {
+		t.Fatalf("LoadFile after disarming = (%q, %v)", name, err)
+	}
+}
+
+func TestLabelsForPredictsAndPropagatesErrors(t *testing.T) {
+	r := New(quickCfg())
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	lbl, err := r.LabelsFor(ar, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lbl == nil {
+		t.Fatal("LabelsFor returned nil labels from a trained model")
+	}
+
+	cfg := quickCfg()
+	cfg.TrainOnDemand = false
+	r2 := New(cfg)
+	if _, err := r2.LabelsFor(ar, g); err == nil {
+		t.Fatal("LabelsFor succeeded without a model and with training disabled")
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/lisa-go/lisa/internal/fault"
 )
 
 // latencyBuckets are the upper bounds (inclusive, milliseconds) of the
@@ -23,12 +25,14 @@ type Metrics struct {
 	hits      int64            // cache hits
 	misses    int64            // cache misses (mapper actually ran)
 	coalesced int64            // followers served by a singleflight leader
+	panics    int64            // recovered panics (handlers and pool tasks)
 	engines   map[string]*engineStats
 }
 
 type engineStats struct {
 	count    int64
 	failures int64 // mapper returned OK=false
+	degraded int64 // responses produced by a fallback rung, not the engine itself
 	totalNS  int64
 	buckets  []int64 // len(latencyBuckets)+1, last = +Inf
 }
@@ -74,15 +78,36 @@ func (m *Metrics) CacheMiss() { m.mu.Lock(); m.misses++; m.mu.Unlock() }
 
 func (m *Metrics) Coalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
 
-// Mapped records one completed mapper invocation for an engine.
-func (m *Metrics) Mapped(eng string, ok bool, elapsed time.Duration) {
+// Panic counts one recovered panic (a handler or a pool task).
+func (m *Metrics) Panic() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.panics++
+}
+
+// DegradedRun counts one response for the *requested* engine that was
+// produced by a degradation-ladder fallback rather than the engine itself.
+func (m *Metrics) DegradedRun(eng string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.engine(eng).degraded++
+}
+
+// engine returns the stats slot for eng, creating it. m.mu must be held.
+func (m *Metrics) engine(eng string) *engineStats {
 	e := m.engines[eng]
 	if e == nil {
 		e = &engineStats{buckets: make([]int64, len(latencyBuckets)+1)}
 		m.engines[eng] = e
 	}
+	return e
+}
+
+// Mapped records one completed mapper invocation for an engine.
+func (m *Metrics) Mapped(eng string, ok bool, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.engine(eng)
 	e.count++
 	if !ok {
 		e.failures++
@@ -108,8 +133,12 @@ type (
 		Status        map[string]int64          `json:"status"`
 		Inflight      int64                     `json:"inflight"`
 		Rejected      int64                     `json:"rejected"`
+		Panics        int64                     `json:"panics"`
 		Cache         CacheSnapshot             `json:"cache"`
 		Engines       map[string]EngineSnapshot `json:"engines"`
+		// Faults reports per-site injection counts; present only while a
+		// fault plan is armed (the /metrics handler fills it in).
+		Faults map[fault.Site]int64 `json:"faults,omitempty"`
 	}
 	// CacheSnapshot reports hit/miss/coalesced counts and the hit ratio.
 	CacheSnapshot struct {
@@ -124,6 +153,7 @@ type (
 	EngineSnapshot struct {
 		Count     int64            `json:"count"`
 		Failures  int64            `json:"failures"`
+		Degraded  int64            `json:"degraded"`
 		AvgMillis float64          `json:"avgMillis"`
 		Histogram []HistogramEntry `json:"histogram"`
 	}
@@ -146,6 +176,7 @@ func (m *Metrics) Snapshot(now time.Time, cacheEntries int) MetricsSnapshot {
 		Status:        make(map[string]int64, len(m.status)),
 		Inflight:      m.inflight,
 		Rejected:      m.rejected,
+		Panics:        m.panics,
 		Cache: CacheSnapshot{
 			Hits:      m.hits,
 			Misses:    m.misses,
@@ -173,7 +204,7 @@ func (m *Metrics) Snapshot(now time.Time, cacheEntries int) MetricsSnapshot {
 	sort.Strings(names)
 	for _, name := range names {
 		e := m.engines[name]
-		es := EngineSnapshot{Count: e.count, Failures: e.failures}
+		es := EngineSnapshot{Count: e.count, Failures: e.failures, Degraded: e.degraded}
 		if e.count > 0 {
 			es.AvgMillis = float64(e.totalNS) / float64(e.count) / 1e6
 		}

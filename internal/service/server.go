@@ -19,6 +19,15 @@
 // Because mapping results are pure functions of (DFG, arch, engine,
 // options, seed) for the SA-family engines, a cache hit, a fresh run, and
 // a re-run after restart all return byte-identical bodies.
+//
+// The daemon is crash-proofed for long-lived serving: every handler runs
+// behind a panic fence (500 + a panics counter, never a dead process),
+// mapping requests go through engine.Run's graceful-degradation ladder
+// (degraded responses are labeled and never cached), inline DFGs are
+// structurally validated and size-capped before any analysis touches
+// them, and POST /v1/reload is the explicit recovery path for cached
+// training failures. internal/fault sites (cache.get, pool.submit) let
+// the chaos suite drive all of this deterministically.
 package service
 
 import (
@@ -27,16 +36,18 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/lisa-go/lisa/internal/arch"
-	"github.com/lisa-go/lisa/internal/attr"
 	"github.com/lisa-go/lisa/internal/dfg"
 	"github.com/lisa-go/lisa/internal/engine"
+	"github.com/lisa-go/lisa/internal/fault"
 	"github.com/lisa-go/lisa/internal/ilp"
 	"github.com/lisa-go/lisa/internal/kernels"
-	"github.com/lisa-go/lisa/internal/labels"
 	"github.com/lisa-go/lisa/internal/mapper"
 	"github.com/lisa-go/lisa/internal/parallel"
 	"github.com/lisa-go/lisa/internal/registry"
@@ -63,6 +74,20 @@ type Config struct {
 	MaxDeadline     time.Duration
 	// MaxBodyBytes bounds the request body (DFG uploads).
 	MaxBodyBytes int64
+	// MaxDFGNodes / MaxDFGEdges cap inline DFG uploads, including after
+	// unrolling (0: the default caps; negative: uncapped). Built-in kernels
+	// are trusted and exempt.
+	MaxDFGNodes int
+	MaxDFGEdges int
+	// MaxUnroll caps the request unroll factor (0: default; negative:
+	// uncapped).
+	MaxUnroll int
+	// ModelsDir, when set, is rescanned by POST /v1/reload for model files
+	// that appeared after startup.
+	ModelsDir string
+	// OnPanic, when set, observes every recovered panic (handler or pool
+	// task) with its stack; the daemon points it at the crash log.
+	OnPanic func(recovered any, stack []byte)
 	// MapOpts is the server-side default annealing budget; requests may
 	// override MaxMoves and Seed.
 	MapOpts mapper.Options
@@ -78,6 +103,9 @@ func DefaultConfig() Config {
 		DefaultDeadline: 30 * time.Second,
 		MaxDeadline:     2 * time.Minute,
 		MaxBodyBytes:    4 << 20,
+		MaxDFGNodes:     512,
+		MaxDFGEdges:     2048,
+		MaxUnroll:       8,
 		MapOpts:         mapper.DefaultOptions(),
 		ILPOpts:         ilp.DefaultOptions(),
 	}
@@ -101,6 +129,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if c.MaxDFGNodes == 0 {
+		c.MaxDFGNodes = d.MaxDFGNodes
+	} else if c.MaxDFGNodes < 0 {
+		c.MaxDFGNodes = 0
+	}
+	if c.MaxDFGEdges == 0 {
+		c.MaxDFGEdges = d.MaxDFGEdges
+	} else if c.MaxDFGEdges < 0 {
+		c.MaxDFGEdges = 0
+	}
+	if c.MaxUnroll == 0 {
+		c.MaxUnroll = d.MaxUnroll
+	} else if c.MaxUnroll < 0 {
+		c.MaxUnroll = 0
 	}
 	if c.MapOpts == (mapper.Options{}) {
 		c.MapOpts = d.MapOpts
@@ -129,13 +172,27 @@ type Server struct {
 // from a models directory).
 func New(cfg Config, reg *registry.Registry) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
 		cache:   NewCache(cfg.CacheEntries),
 		flight:  newFlightGroup(),
 		pool:    parallel.NewPool(cfg.Workers, cfg.QueueDepth),
 		metrics: NewMetrics(time.Now()),
+	}
+	// Last-resort fence: a task that panics past its own recovery must not
+	// kill the worker. (Mapping tasks also recover for themselves so their
+	// singleflight leader is never left waiting.)
+	s.pool.OnPanic(s.panicked)
+	return s
+}
+
+// panicked is the central sink for every recovered panic: count it and
+// hand the stack to the configured crash log.
+func (s *Server) panicked(recovered any, stack []byte) {
+	s.metrics.Panic()
+	if s.cfg.OnPanic != nil {
+		s.cfg.OnPanic(recovered, stack)
 	}
 }
 
@@ -161,15 +218,39 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
-// Handler returns the route mux.
+// Handler returns the route mux. Every route is wrapped in a panic fence:
+// a panicking handler produces a 500 and a panics-counter tick, and the
+// daemon keeps serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/map", s.handleMap)
 	mux.HandleFunc("/v1/archs", s.handleArchs)
 	mux.HandleFunc("/v1/kernels", s.handleKernels)
+	mux.HandleFunc("/v1/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics is the handler-level panic fence.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(rec) // the deliberate connection-abort idiom; not a crash
+			}
+			s.panicked(rec, debug.Stack())
+			// Best effort: if the handler already started the response the
+			// status line is gone, but a fresh panic happens before any write.
+			writeJSON(w, http.StatusInternalServerError,
+				errorBody{Error: fmt.Sprintf("internal error: %v", rec)})
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // MapRequest is the POST /v1/map body. Exactly one of Kernel and DFG names
@@ -201,13 +282,22 @@ type MapResponse struct {
 	Nodes  int    `json:"nodes"`
 	Edges  int    `json:"edges"`
 
+	// EngineUsed names the engine that actually produced the result when
+	// the degradation ladder substituted one (absent on healthy responses,
+	// which therefore stay byte-identical to earlier releases). The rungs
+	// taken are in Result.Degraded.
+	EngineUsed string `json:"engineUsed,omitempty"`
+
 	Result      mapper.Result       `json:"result"`
 	Utilization *mapper.Utilization `json:"utilization,omitempty"`
 }
 
-// errorBody is every non-200 JSON payload.
+// errorBody is every non-200 JSON payload. Defect carries the
+// machine-readable dfg.Defect class when the rejection was a structural
+// DFG problem, so clients can tell a cyclic graph from an oversized one.
 type errorBody struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Defect string `json:"defect,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -226,6 +316,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *Server) fail(w http.ResponseWriter, route string, status int, format string, args ...any) {
 	s.metrics.Request(route, status)
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// failErr writes an error response, classifying DFG defects for clients.
+func (s *Server) failErr(w http.ResponseWriter, route string, status int, err error) {
+	s.metrics.Request(route, status)
+	body := errorBody{Error: err.Error()}
+	if de, ok := dfg.AsDefect(err); ok {
+		body.Defect = string(de.Kind)
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
@@ -263,9 +363,9 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	g, err := requestGraph(&req)
+	g, err := s.requestGraph(&req)
 	if err != nil {
-		s.fail(w, route, http.StatusBadRequest, "%v", err)
+		s.failErr(w, route, http.StatusBadRequest, err)
 		return
 	}
 
@@ -288,7 +388,12 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	mapOpts.TimeLimit = deadline
 
 	key := cacheKey(g, ar.Name(), eng, mapOpts, deadline.Milliseconds())
-	if body, ok := s.cache.Get(key); ok {
+	if err := fault.Inject(fault.CacheGet, fault.Token(key)); err != nil {
+		// An injected lookup failure is a forced miss: the request falls
+		// through to a fresh (deduplicated) mapping run, trading latency
+		// for availability exactly like a real cache outage would. The
+		// injection itself is visible in /metrics under faults.
+	} else if body, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHit()
 		s.metrics.Request(route, http.StatusOK)
 		w.Header().Set("Content-Type", "application/json")
@@ -330,34 +435,47 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 }
 
 // runMapping is the singleflight leader body: admit into the worker pool,
-// run the engine, serialize, cache. It always runs to completion once
-// admitted so followers and the cache see the result even if the leading
-// client disconnects.
+// run the engine behind the degradation ladder, serialize, cache. It always
+// runs to completion once admitted so followers and the cache see the
+// result even if the leading client disconnects.
 func (s *Server) runMapping(key string, req *MapRequest, ar arch.Arch, g *dfg.Graph, eng engine.Name, mapOpts mapper.Options) ([]byte, int, error) {
-	var lbl *labels.Labels
-	if eng.UsesLabels() {
-		model, err := s.reg.ModelFor(ar)
-		if err != nil {
-			return nil, http.StatusServiceUnavailable, err
-		}
-		lbl = model.Predict(attr.Generate(g))
-	}
-
 	ilpOpts := s.cfg.ILPOpts
 	if eng == engine.ILP && mapOpts.TimeLimit > 0 && (ilpOpts.TimeLimitPerII <= 0 || ilpOpts.TimeLimitPerII > mapOpts.TimeLimit) {
 		ilpOpts.TimeLimitPerII = mapOpts.TimeLimit
 	}
 
+	if err := fault.Inject(fault.PoolSubmit, fault.Token(key)); err != nil {
+		// An injected admission failure is backpressure, same as a full
+		// queue: the client sees 429 and retries.
+		return nil, http.StatusTooManyRequests, errBusy
+	}
+
 	type outcome struct {
-		res mapper.Result
+		rr  engine.RunResult
 		err error
 	}
 	done := make(chan outcome, 1)
 	admitted := s.pool.TrySubmit(func() {
+		// This fence must be here, not (only) in the pool: the pool's
+		// worker-level recovery would keep the worker alive but never send
+		// on done, leaving the singleflight leader blocked forever.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panicked(rec, debug.Stack())
+				done <- outcome{err: fmt.Errorf("mapping task panicked: %v", rec)}
+			}
+		}()
 		start := time.Now()
-		res, err := engine.Map(ar, g, eng, lbl, engine.Options{Map: mapOpts, ILP: ilpOpts})
-		s.metrics.Mapped(string(eng), err == nil && res.OK, time.Since(start))
-		done <- outcome{res, err}
+		rr, err := engine.Run(ar, g, engine.Request{
+			Engine: eng,
+			Labels: s.reg,
+			Opts:   engine.Options{Map: mapOpts, ILP: ilpOpts},
+		})
+		s.metrics.Mapped(string(eng), err == nil && rr.OK, time.Since(start))
+		if err == nil && rr.DegradedRun() {
+			s.metrics.DegradedRun(string(eng))
+		}
+		done <- outcome{rr, err}
 	})
 	if !admitted {
 		return nil, http.StatusTooManyRequests, errBusy
@@ -366,7 +484,7 @@ func (s *Server) runMapping(key string, req *MapRequest, ar arch.Arch, g *dfg.Gr
 	if out.err != nil {
 		return nil, http.StatusInternalServerError, out.err
 	}
-	res := out.res
+	res := out.rr.Result
 	if res.OK {
 		if err := mapper.Verify(ar, g, &res); err != nil {
 			return nil, http.StatusInternalServerError, fmt.Errorf("mapping failed verification: %w", err)
@@ -387,6 +505,9 @@ func (s *Server) runMapping(key string, req *MapRequest, ar arch.Arch, g *dfg.Gr
 		Edges:  g.NumEdges(),
 		Result: res,
 	}
+	if out.rr.Engine != eng {
+		resp.EngineUsed = string(out.rr.Engine)
+	}
 	if req.Stats && res.OK {
 		u, err := mapper.Utilize(ar, g, &res)
 		if err != nil {
@@ -399,13 +520,22 @@ func (s *Server) runMapping(key string, req *MapRequest, ar arch.Arch, g *dfg.Gr
 		return nil, http.StatusInternalServerError, err
 	}
 	body = append(body, '\n')
-	s.cache.Add(key, body)
+	// Degraded and deadline-curtailed results are served but never cached:
+	// the cache must only ever hold first-choice deterministic outcomes,
+	// or a transient fault's fallback would outlive the fault itself.
+	if len(res.Degraded) == 0 && !res.DeadlineExceeded {
+		s.cache.Add(key, body)
+	}
 	return body, http.StatusOK, nil
 }
 
 // requestGraph resolves the request's DFG: a named kernel or an inline DFG
-// document, then optional unrolling.
-func requestGraph(req *MapRequest) (*dfg.Graph, error) {
+// document, then optional unrolling. Inline DFGs are untrusted input: they
+// are structurally validated (ReadJSON) and size-capped, both as uploaded
+// and after unrolling — mapper state grows superlinearly with graph size,
+// so an unbounded upload is a memory bomb. Built-in kernels are trusted
+// and exempt from the size caps (but not the unroll cap).
+func (s *Server) requestGraph(req *MapRequest) (*dfg.Graph, error) {
 	if (req.Kernel == "") == (len(req.DFG) == 0) {
 		return nil, errors.New("exactly one of \"kernel\" and \"dfg\" must be set")
 	}
@@ -422,9 +552,21 @@ func requestGraph(req *MapRequest) (*dfg.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := g.CheckSize(s.cfg.MaxDFGNodes, s.cfg.MaxDFGEdges); err != nil {
+			return nil, err
+		}
 	}
 	if req.Unroll > 1 {
+		if s.cfg.MaxUnroll > 0 && req.Unroll > s.cfg.MaxUnroll {
+			return nil, &dfg.DefectError{Kind: dfg.DefectTooLarge,
+				Msg: fmt.Sprintf("unroll factor %d exceeds the limit of %d", req.Unroll, s.cfg.MaxUnroll)}
+		}
 		g = dfg.Unroll(g, req.Unroll)
+		if req.Kernel == "" {
+			if err := g.CheckSize(s.cfg.MaxDFGNodes, s.cfg.MaxDFGEdges); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return g, nil
 }
@@ -435,6 +577,9 @@ type ArchInfo struct {
 	PEs        int    `json:"pes"`
 	MaxII      int    `json:"maxII"`
 	ModelReady bool   `json:"modelReady"`
+	// ModelError is the cached lazy-training failure for this target, if
+	// any; POST /v1/reload clears it for one retry.
+	ModelError string `json:"modelError,omitempty"`
 }
 
 func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) {
@@ -446,12 +591,16 @@ func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) {
 	var out []ArchInfo
 	for _, name := range arch.Names() {
 		ar, _ := arch.ByName(name)
-		out = append(out, ArchInfo{
+		info := ArchInfo{
 			Name:       name,
 			PEs:        ar.NumPEs(),
 			MaxII:      ar.MaxII(),
 			ModelReady: s.reg.Has(name),
-		})
+		}
+		if err := s.reg.Err(name); err != nil {
+			info.ModelError = err.Error()
+		}
+		out = append(out, info)
 	}
 	s.metrics.Request(route, http.StatusOK)
 	writeJSON(w, http.StatusOK, out)
@@ -479,6 +628,59 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// ReloadResponse is the POST /v1/reload body.
+type ReloadResponse struct {
+	// Retried lists targets whose cached training failure was cleared; the
+	// next request for each may spend one fresh training attempt.
+	Retried []string `json:"retried,omitempty"`
+	// Loaded lists targets whose model file was newly loaded from the
+	// models directory.
+	Loaded []string `json:"loaded,omitempty"`
+	// Errors lists model files that failed to load (already-registered
+	// collisions are expected on a rescan and not reported).
+	Errors []string `json:"errors,omitempty"`
+}
+
+// handleReload is the explicit recovery path: clear cached training
+// failures so the next request may retry, and rescan the models directory
+// (when configured) for files that appeared after startup. It is
+// deliberately the only way to spend a second training attempt on a failed
+// target — ordinary requests never retrain.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/reload"
+	if r.Method != http.MethodPost {
+		s.fail(w, route, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var resp ReloadResponse
+	for _, name := range arch.Names() {
+		if s.reg.Err(name) != nil && s.reg.Retry(name) {
+			resp.Retried = append(resp.Retried, name)
+		}
+	}
+	if dir := s.cfg.ModelsDir; dir != "" {
+		files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+		if err != nil {
+			s.fail(w, route, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		sort.Strings(files)
+		for _, path := range files {
+			name, err := s.reg.LoadFile(path)
+			switch {
+			case err == nil:
+				resp.Loaded = append(resp.Loaded, name)
+			case errors.Is(err, registry.ErrAlreadyLoaded):
+				// Expected on a rescan; nothing to report.
+			default:
+				resp.Errors = append(resp.Errors, err.Error())
+			}
+		}
+	}
+	s.metrics.Request(route, http.StatusOK)
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	const route = "/healthz"
 	if s.isDraining() {
@@ -493,5 +695,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	const route = "/metrics"
 	s.metrics.Request(route, http.StatusOK)
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(time.Now(), s.cache.Len()))
+	snap := s.metrics.Snapshot(time.Now(), s.cache.Len())
+	if fault.Enabled() {
+		snap.Faults = fault.Counts()
+	}
+	writeJSON(w, http.StatusOK, snap)
 }

@@ -177,13 +177,33 @@ func TestMapLabelEngineUsesRegistry(t *testing.T) {
 	}
 }
 
-func TestMapWithoutModelIs503(t *testing.T) {
+func TestMapWithoutModelDegradesToSA(t *testing.T) {
+	// No model and no on-demand training: the ladder substitutes plain SA
+	// for the label engine and says so, rather than failing the request.
 	reg := registry.New(registry.Config{TrainOnDemand: false})
 	s := New(Config{}, reg)
 	defer s.Close()
 	w := postMap(t, s.Handler(), `{"kernel":"gemm","arch":"cgra-4x4","engine":"lisa"}`)
-	if w.Code != http.StatusServiceUnavailable {
-		t.Fatalf("status %d, want 503 when no model and training disabled", w.Code)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 via the degradation ladder: %s", w.Code, w.Body)
+	}
+	var resp MapResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.EngineUsed != "sa" {
+		t.Fatalf("engineUsed = %q, want sa", resp.EngineUsed)
+	}
+	if len(resp.Result.Degraded) == 0 || !strings.Contains(resp.Result.Degraded[0], "lisa\u2192sa") && !strings.Contains(resp.Result.Degraded[0], "lisa->sa") {
+		t.Fatalf("degraded chain = %v, want a lisa-to-sa rung", resp.Result.Degraded)
+	}
+	// Degraded results must not poison the cache.
+	if got := s.Cache().Len(); got != 0 {
+		t.Fatalf("cache has %d entries after a degraded response, want 0", got)
+	}
+	w2 := postMap(t, s.Handler(), `{"kernel":"gemm","arch":"cgra-4x4","engine":"lisa"}`)
+	if w2.Header().Get("X-Lisa-Cache") == "hit" {
+		t.Fatal("degraded response was served from the cache")
 	}
 }
 

@@ -14,7 +14,10 @@ import (
 
 func mapOK(t *testing.T, ar arch.Arch, g *dfg.Graph, seed int64) mapper.Result {
 	t.Helper()
-	res := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: seed, MaxMoves: 1600})
+	res, err := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: seed, MaxMoves: 1600})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.OK {
 		t.Fatalf("mapping failed for %s on %s", g.Name, ar.Name())
 	}
@@ -48,7 +51,10 @@ func TestSimulateAllKernelsOn4x4(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	for _, name := range kernels.Names() {
 		g := kernels.MustByName(name)
-		res := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: 3, MaxMoves: 1600})
+		res, err := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: 3, MaxMoves: 1600})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !res.OK {
 			t.Errorf("%s: mapping failed", name)
 			continue
@@ -174,7 +180,10 @@ func TestSimulateRandomDFGs(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		g := dfg.Random(rng, dfg.DefaultRandomConfig(), "fuzz")
-		res := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: seed, MaxMoves: 1200})
+		res, err := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: seed, MaxMoves: 1200})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !res.OK {
 			continue
 		}

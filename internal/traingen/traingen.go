@@ -168,9 +168,11 @@ func labelOne(ar arch.Arch, g *dfg.Graph, cfg Config, rng *rand.Rand) (*gnn.Samp
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		opts := cfg.MapOpts
 		opts.Seed = rng.Int63()
-		res := mapper.Map(ar, g, mapper.AlgPart, cur, opts)
-		if !res.OK {
-			continue // keep previous labels, map again (paper §V-B)
+		res, err := mapper.Map(ar, g, mapper.AlgPart, cur, opts)
+		if err != nil || !res.OK {
+			// An injected fault counts as a failed attempt; keep previous
+			// labels, map again (paper §V-B).
+			continue
 		}
 		extracted := labels.Extract(an, res.Stats(ar))
 		cands = append(cands, labels.Candidate{

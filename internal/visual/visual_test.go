@@ -49,7 +49,10 @@ func TestWriteDFG(t *testing.T) {
 func TestWriteMapping(t *testing.T) {
 	ar := arch.NewBaseline4x4()
 	g := kernels.MustByName("syrk")
-	res := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: 1, MaxMoves: 1500})
+	res, err := mapper.Map(ar, g, mapper.AlgLISA, nil, mapper.Options{Seed: 1, MaxMoves: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.OK {
 		t.Fatal("map failed")
 	}

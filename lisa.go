@@ -168,13 +168,15 @@ func (f *Framework) DeriveLabels(g *Graph) *Labels {
 	return labels.Initial(dfg.Analyze(g))
 }
 
-// Map runs the label-aware simulated annealing of Algorithm 1.
-func (f *Framework) Map(g *Graph) Result {
+// Map runs the label-aware simulated annealing of Algorithm 1. The error
+// is nil except for injected faults (internal/fault); a kernel that merely
+// cannot be mapped is a Result with OK=false.
+func (f *Framework) Map(g *Graph) (Result, error) {
 	return mapper.Map(f.Arch, g, mapper.AlgLISA, f.DeriveLabels(g), f.MapOpts)
 }
 
 // MapBaseline runs the vanilla simulated-annealing baseline.
-func (f *Framework) MapBaseline(g *Graph) Result {
+func (f *Framework) MapBaseline(g *Graph) (Result, error) {
 	return mapper.Map(f.Arch, g, mapper.AlgSA, nil, f.MapOpts)
 }
 

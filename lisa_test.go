@@ -8,6 +8,16 @@ import (
 	lisa "github.com/lisa-go/lisa"
 )
 
+// fwMap maps g, failing the test on an (injected-fault-only) error.
+func fwMap(t *testing.T, fw *lisa.Framework, g *lisa.Graph) lisa.Result {
+	t.Helper()
+	res, err := fw.Map(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestPublicPipelineQuickstart(t *testing.T) {
 	fw := lisa.New(lisa.CGRA4x4())
 	fw.MapOpts.MaxMoves = 1200
@@ -16,7 +26,7 @@ func TestPublicPipelineQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := fw.Map(g)
+	res := fwMap(t, fw, g)
 	if !res.OK {
 		t.Fatal("untrained framework failed to map gemm")
 	}
@@ -48,7 +58,7 @@ func TestTrainThenMap(t *testing.T) {
 	if len(lbl.Order) != g.NumNodes() {
 		t.Fatal("labels not shaped for DFG")
 	}
-	res := fw.Map(g)
+	res := fwMap(t, fw, g)
 	if !res.OK {
 		t.Fatal("trained framework failed to map doitgen on 3x3")
 	}
@@ -72,7 +82,7 @@ func TestCustomKernelViaBuilder(t *testing.T) {
 	}
 	fw := lisa.New(lisa.CGRA4x4())
 	fw.MapOpts.MaxMoves = 800
-	res := fw.Map(g)
+	res := fwMap(t, fw, g)
 	if !res.OK {
 		t.Fatal("failed to map custom kernel")
 	}
@@ -84,7 +94,7 @@ func TestPortabilityAcrossTargets(t *testing.T) {
 	for _, ar := range lisa.Targets() {
 		fw := lisa.New(ar)
 		fw.MapOpts.MaxMoves = 1200
-		res := fw.Map(g)
+		res := fwMap(t, fw, g)
 		if res.OK {
 			mapped++
 			if err := fw.Verify(g, &res); err != nil {
@@ -100,7 +110,7 @@ func TestPortabilityAcrossTargets(t *testing.T) {
 func TestDescribeFailure(t *testing.T) {
 	fw := lisa.New(lisa.Systolic5x5())
 	g, _ := lisa.Kernel("trmm")
-	res := fw.Map(g)
+	res := fwMap(t, fw, g)
 	if res.OK {
 		t.Fatal("trmm on systolic must fail")
 	}
@@ -127,7 +137,7 @@ func TestPublicSimulateAndReports(t *testing.T) {
 	fw.MapOpts.MaxMoves = 1500
 	fw.MapOpts.Seed = 2
 	g, _ := lisa.Kernel("syrk")
-	res := fw.Map(g)
+	res := fwMap(t, fw, g)
 	if !res.OK {
 		t.Fatal("map failed")
 	}
@@ -158,7 +168,7 @@ func TestPublicLoadArch(t *testing.T) {
 	fw := lisa.New(ar)
 	fw.MapOpts.MaxMoves = 1500
 	g, _ := lisa.Kernel("doitgen")
-	res := fw.Map(g)
+	res := fwMap(t, fw, g)
 	if !res.OK {
 		t.Fatal("custom arch mapping failed")
 	}
