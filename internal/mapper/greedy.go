@@ -148,12 +148,11 @@ func greedyPass(st *state, an *dfg.Analysis) bool {
 			if ci >= maxTries {
 				break
 			}
-			fu := st.rg.FUAt(c.pe, c.t%st.ii)
+			fu := st.fuAt(c.pe, c.t)
 			if !st.occ.PlaceOp(fu, v) {
 				continue
 			}
-			st.pe[v] = c.pe
-			st.time[v] = c.t
+			st.place(v, c.pe, c.t)
 			var routed []int
 			ok := true
 			for _, ei := range g.InEdges(v) {
@@ -176,7 +175,7 @@ func greedyPass(st *state, an *dfg.Analysis) bool {
 				st.unroute(ei)
 			}
 			st.occ.RemoveOp(fu, v)
-			st.pe[v] = -1
+			st.unplace(v)
 		}
 		if !success {
 			return false

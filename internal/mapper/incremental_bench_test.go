@@ -1,0 +1,65 @@
+package mapper
+
+import "testing"
+
+// benchState builds a mid-anneal state on a random kernel, the population the
+// snapshot/rollback benchmarks mutate.
+func benchState(b *testing.B) *state {
+	b.Helper()
+	return buildAnnealState(b, 1, 42,
+		config{useOrderLabel: true, usePlacementLabels: true, useRoutingPriority: true})
+}
+
+// BenchmarkSnapshotUndoLog measures the production rollback path: arm the
+// undo logs, run one movement, roll it back. Compare against
+// BenchmarkSnapshotClone, the deep-copy path it replaced — the delta is the
+// core of the mapper speedup.
+func BenchmarkSnapshotUndoLog(b *testing.B) {
+	st := benchState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.beginTxn()
+		st.movement()
+		st.rollbackTxn()
+	}
+}
+
+// BenchmarkSnapshotClone measures the retired deep-clone rollback on the same
+// movement loop.
+func BenchmarkSnapshotClone(b *testing.B) {
+	st := benchState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := st.save()
+		st.movement()
+		st.restore(snap)
+	}
+}
+
+// BenchmarkCostIncremental reads the O(1) tally-backed objective; the
+// recompute benchmark below walks every node and edge the way cost() itself
+// used to.
+func BenchmarkCostIncremental(b *testing.B) {
+	st := benchState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += st.cost()
+	}
+	_ = sink
+}
+
+// BenchmarkCostFullRecompute is the from-scratch reference recompute.
+func BenchmarkCostFullRecompute(b *testing.B) {
+	st := benchState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += st.costFull()
+	}
+	_ = sink
+}

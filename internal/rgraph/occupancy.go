@@ -15,16 +15,35 @@ func opSignal(dfgNode int) Signal { return Signal(-1 - dfgNode) }
 // capacity rule (at most Cap distinct signals per node), fan-out sharing
 // (re-entering a node already carrying the same signal is free), and
 // reference-counted release so overlapping routes unwind correctly.
+//
+// For speculative mutation (the annealer's movement loop) it offers an undo
+// journal: between BeginJournal and RollbackJournal every Use/Release —
+// including those issued through PlaceOp/RemoveOp/Commit/Uncommit — is
+// recorded, and rollback replays the inverse log in reverse, touching only
+// the entries the movement touched. This replaces the per-movement deep
+// Clone: rollback cost is O(ops in the movement), not O(resource nodes).
+// Clone is retained as the reference snapshot path for differential tests
+// and benchmarks.
 type Occupancy struct {
 	g *Graph
 	// occ[node] lists (signal, refcount) pairs; nodes carry few signals so a
 	// small slice beats a map.
 	occ [][]sigRef
+
+	journaling bool
+	journal    []journalOp
 }
 
 type sigRef struct {
 	sig Signal
 	ref int
+}
+
+// journalOp records one Use (release=false) or Release (release=true).
+type journalOp struct {
+	node    int32
+	sig     Signal
+	release bool
 }
 
 // NewOccupancy creates an empty occupancy table for g.
@@ -77,6 +96,13 @@ func (o *Occupancy) Carries(n int, sig Signal) bool {
 // Use records one use of sig at node n. It panics if the capacity rule would
 // be violated; callers must check CanEnter first.
 func (o *Occupancy) Use(n int, sig Signal) {
+	if o.journaling {
+		o.journal = append(o.journal, journalOp{node: int32(n), sig: sig})
+	}
+	o.use(n, sig)
+}
+
+func (o *Occupancy) use(n int, sig Signal) {
 	for i := range o.occ[n] {
 		if o.occ[n][i].sig == sig {
 			o.occ[n][i].ref++
@@ -91,6 +117,13 @@ func (o *Occupancy) Use(n int, sig Signal) {
 
 // Release undoes one Use of sig at node n.
 func (o *Occupancy) Release(n int, sig Signal) {
+	if o.journaling {
+		o.journal = append(o.journal, journalOp{node: int32(n), sig: sig, release: true})
+	}
+	o.release(n, sig)
+}
+
+func (o *Occupancy) release(n int, sig Signal) {
 	for i := range o.occ[n] {
 		if o.occ[n][i].sig == sig {
 			o.occ[n][i].ref--
@@ -103,6 +136,85 @@ func (o *Occupancy) Release(n int, sig Signal) {
 		}
 	}
 	panic("rgraph: release of absent signal")
+}
+
+// BeginJournal arms the undo journal: every subsequent Use/Release is
+// recorded until CommitJournal or RollbackJournal. Nested journals are not
+// supported; beginning again simply truncates the log.
+func (o *Occupancy) BeginJournal() {
+	o.journaling = true
+	o.journal = o.journal[:0]
+}
+
+// CommitJournal accepts the mutations made since BeginJournal and discards
+// the log.
+func (o *Occupancy) CommitJournal() {
+	o.journaling = false
+	o.journal = o.journal[:0]
+}
+
+// RollbackJournal undoes every Use/Release recorded since BeginJournal by
+// replaying the inverse log in reverse order. The restored table is
+// semantically identical to the pre-journal state (same signals, same
+// refcounts per node); only the internal ordering of a node's entries may
+// differ, which no query observes.
+func (o *Occupancy) RollbackJournal() {
+	o.journaling = false
+	for i := len(o.journal) - 1; i >= 0; i-- {
+		op := o.journal[i]
+		if op.release {
+			o.use(int(op.node), op.sig)
+		} else {
+			o.release(int(op.node), op.sig)
+		}
+	}
+	o.journal = o.journal[:0]
+}
+
+// SigRef is an exported (signal, refcount) pair for inspection by tests and
+// debugging tools.
+type SigRef struct {
+	Sig Signal
+	Ref int
+}
+
+// Entries returns node n's occupants in canonical (signal-sorted) order.
+// The internal order is arbitrary — Release swap-removes and rollback
+// re-appends — so comparisons must go through this canonical view.
+func (o *Occupancy) Entries(n int) []SigRef {
+	if len(o.occ[n]) == 0 {
+		return nil
+	}
+	out := make([]SigRef, len(o.occ[n]))
+	for i, r := range o.occ[n] {
+		out[i] = SigRef{Sig: r.sig, Ref: r.ref}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Sig < out[j-1].Sig; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Equivalent reports whether o and p describe the same occupancy (same
+// signals with same refcounts at every node), ignoring internal entry order.
+func (o *Occupancy) Equivalent(p *Occupancy) bool {
+	if len(o.occ) != len(p.occ) {
+		return false
+	}
+	for n := range o.occ {
+		a, b := o.Entries(n), p.Entries(n)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // PlaceOp occupies FU node n with the operation of DFG node v. It reports

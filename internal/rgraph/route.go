@@ -1,7 +1,5 @@
 package rgraph
 
-import "container/heap"
-
 // The router finds a minimum-cost path of *exactly* K hops from a producer FU
 // to a consumer FU. Exactness matters for modulo scheduling correctness: an
 // operation placed at absolute cycle T occupies resources at T mod II, and an
@@ -13,7 +11,22 @@ import "container/heap"
 //
 // Cost model: entering a resource that already carries the same signal is
 // free (fan-out sharing and deliberate loops), entering a fresh resource
-// costs 1. Dijkstra over (resource, hops-done) states.
+// costs 1. Because every step costs exactly 0 or 1, the search is a 0-1 BFS
+// over (resource, hops-done) states: a deque replaces the Dijkstra heap
+// (free steps go to the front, paying steps to the back), which removes both
+// the log factor and the per-push interface{} boxing of container/heap.
+// The heap-based Dijkstra survives as routeDijkstra (route_dijkstra.go) — the
+// reference implementation the differential tests and benchmarks compare
+// against.
+//
+// Tie-breaking is explicit and deterministic: among equal-cost paths the
+// winner is fixed by (a) the immutable adjacency order of Graph.Out, (b) the
+// strict-improvement rule (a state's predecessor is only rewritten when the
+// new cost is strictly lower), and (c) the FIFO/LIFO discipline of the deque.
+// Equal inputs therefore always produce byte-identical paths — the property
+// the equal-seed mapper invariants build on. The chosen path can differ from
+// the heap Dijkstra's pick at equal cost, which is why experiment tables
+// regenerated across the router switch may shift by a tie.
 
 // Router performs exact-length routes over one resource graph. It reuses
 // scratch buffers across calls; a Router is not safe for concurrent use.
@@ -21,13 +34,17 @@ type Router struct {
 	g *Graph
 
 	// MaxHops bounds route length; states beyond it are not explored.
+	// It is fixed at construction; do not modify.
 	MaxHops int
 
+	w     int // state stride: MaxHops + 1
 	dist  []int32
 	stamp []uint32
 	prev  []int32
 	epoch uint32
-	pq    routeHeap
+	dq    deque32
+	bfsq  []int32   // ShortestHops queue scratch
+	pq    routeHeap // scratch for the routeDijkstra reference implementation
 }
 
 // NewRouter creates a router for g with the given hop bound.
@@ -39,29 +56,56 @@ func NewRouter(g *Graph, maxHops int) *Router {
 	return &Router{
 		g:       g,
 		MaxHops: maxHops,
+		w:       maxHops + 1,
 		dist:    make([]int32, size),
 		stamp:   make([]uint32, size),
 		prev:    make([]int32, size),
 	}
 }
 
-type routeItem struct {
-	state int32 // node*(MaxHops+1) + hopsDone
-	cost  int32
+// deque32 is an allocation-free ring-buffer deque of int32 states. It grows
+// geometrically and keeps its backing array across resets.
+type deque32 struct {
+	buf  []int32
+	head int // index of the front element
+	n    int // element count
 }
 
-type routeHeap []routeItem
+func (d *deque32) reset() { d.head, d.n = 0, 0 }
 
-func (h routeHeap) Len() int            { return len(h) }
-func (h routeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
-func (h routeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *routeHeap) Push(x interface{}) { *h = append(*h, x.(routeItem)) }
-func (h *routeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (d *deque32) empty() bool { return d.n == 0 }
+
+func (d *deque32) grow() {
+	nb := make([]int32, max(4*len(d.buf), 64))
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+func (d *deque32) pushFront(v int32) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = v
+	d.n++
+}
+
+func (d *deque32) pushBack(v int32) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = v
+	d.n++
+}
+
+func (d *deque32) popFront() int32 {
+	v := d.buf[d.head]
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return v
 }
 
 // Route searches for an exact hops-length path from src to dst for signal
@@ -72,54 +116,65 @@ func (r *Router) Route(occ *Occupancy, sig Signal, src, dst, hops int) (path []i
 	if hops < 1 || hops > r.MaxHops {
 		return nil, 0, false
 	}
+	// Feasibility pre-check: an exact-hops path is a witness that dst is
+	// reachable in ≤ hops under the same RouteOK/CanEnter constraints, so a
+	// failed or too-long ShortestHops proves no exact path exists. This
+	// turns the common congestion failure from a full state-space sweep
+	// (nodes × hops) into one plain BFS, and never changes a success.
+	if sh := r.ShortestHops(occ, sig, src, dst); sh < 0 || sh > hops {
+		return nil, 0, false
+	}
 	r.epoch++
-	w := r.MaxHops + 1
-	start := int32(src*w + 0)
+	w := r.w
+	start := int32(src * w)
 	r.dist[start] = 0
 	r.stamp[start] = r.epoch
 	r.prev[start] = -1
-	r.pq = r.pq[:0]
-	r.pq = append(r.pq, routeItem{state: start, cost: 0})
+	r.dq.reset()
+	r.dq.pushBack(start)
 
 	goal := int32(dst*w + hops)
-	for len(r.pq) > 0 {
-		it := heap.Pop(&r.pq).(routeItem)
-		if r.stamp[it.state] == r.epoch && r.dist[it.state] < it.cost {
-			continue // stale entry
+	for !r.dq.empty() {
+		s := r.dq.popFront()
+		d := r.dist[s]
+		if s == goal {
+			// 0-1 BFS invariant: the first pop of a state carries its final
+			// distance (free steps re-enter at the front).
+			return r.buildPath(goal, hops), int(d), true
 		}
-		if it.state == goal {
-			return r.buildPath(goal, w), int(it.cost), true
-		}
-		node := int(it.state) / w
-		done := int(it.state) % w
+		node := int(s) / w
+		done := int(s) % w
 		if done >= hops {
 			continue
 		}
 		for _, nb := range r.g.Out(node) {
 			next := int(nb)
-			nn := &r.g.Nodes[next]
 			isDst := next == dst && done+1 == hops
 			if !isDst {
+				nn := &r.g.Nodes[next]
 				if !nn.RouteOK || !occ.CanEnter(next, sig) {
 					continue
 				}
 			}
 			step := int32(1)
-			if occ.Carries(next, sig) {
+			if isDst || occ.Carries(next, sig) {
+				// The consumer op already occupies its FU; same-signal
+				// re-entry is fan-out sharing. Both are free.
 				step = 0
 			}
-			if isDst {
-				step = 0 // the consumer op already occupies its FU
-			}
 			ns := int32(next*w + done + 1)
-			nc := it.cost + step
+			nc := d + step
 			if r.stamp[ns] == r.epoch && r.dist[ns] <= nc {
 				continue
 			}
 			r.stamp[ns] = r.epoch
 			r.dist[ns] = nc
-			r.prev[ns] = it.state
-			heap.Push(&r.pq, routeItem{state: ns, cost: nc})
+			r.prev[ns] = s
+			if step == 0 {
+				r.dq.pushFront(ns)
+			} else {
+				r.dq.pushBack(ns)
+			}
 		}
 	}
 	return nil, 0, false
@@ -128,23 +183,29 @@ func (r *Router) Route(occ *Occupancy, sig Signal, src, dst, hops int) (path []i
 // ShortestHops returns the minimum hop count of any admissible path from src
 // to dst for sig (ignoring the exact-length constraint), or -1 if dst is
 // unreachable within MaxHops. The mapper uses it to pick feasible time slots.
+// Like Route it reuses the router's scratch arrays; dst counts as reachable
+// on the hop that touches it even when dst itself is at capacity (the
+// consumer op owns that FU).
 func (r *Router) ShortestHops(occ *Occupancy, sig Signal, src, dst int) int {
 	r.epoch++
-	w := r.MaxHops + 1
-	// BFS over plain nodes: hop-minimal reachability. Reuse stamp[node*w].
-	type qe struct{ node, d int }
-	queue := []qe{{src, 0}}
+	w := r.w
+	// Plain-node BFS: hop-minimal reachability. Reuse dist/stamp at node*w
+	// and the queue buffer from previous calls.
+	q := r.bfsq[:0]
+	q = append(q, int32(src))
 	r.stamp[src*w] = r.epoch
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if cur.d >= r.MaxHops {
+	r.dist[src*w] = 0
+	for i := 0; i < len(q); i++ {
+		cur := int(q[i])
+		d := int(r.dist[cur*w])
+		if d >= r.MaxHops {
 			continue
 		}
-		for _, nb := range r.g.Out(cur.node) {
+		for _, nb := range r.g.Out(cur) {
 			next := int(nb)
 			if next == dst {
-				return cur.d + 1
+				r.bfsq = q
+				return d + 1
 			}
 			nn := &r.g.Nodes[next]
 			if !nn.RouteOK || !occ.CanEnter(next, sig) {
@@ -154,22 +215,24 @@ func (r *Router) ShortestHops(occ *Occupancy, sig Signal, src, dst int) int {
 				continue
 			}
 			r.stamp[next*w] = r.epoch
-			queue = append(queue, qe{next, cur.d + 1})
+			r.dist[next*w] = int32(d + 1)
+			q = append(q, int32(next))
 		}
 	}
+	r.bfsq = q
 	return -1
 }
 
-func (r *Router) buildPath(goal int32, w int) []int {
-	var rev []int
-	for s := goal; s != -1; s = r.prev[s] {
-		rev = append(rev, int(s)/w)
+// buildPath materializes the prev chain ending at goal into a fresh
+// exact-size slice (the caller retains it in the mapping state).
+func (r *Router) buildPath(goal int32, hops int) []int {
+	path := make([]int, hops+1)
+	s := goal
+	for i := hops; i >= 0; i-- {
+		path[i] = int(s) / r.w
+		s = r.prev[s]
 	}
-	// rev is dst..src; reverse.
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
+	return path
 }
 
 // Commit occupies every intermediate node of path (excluding the first and

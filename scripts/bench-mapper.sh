@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# bench-mapper.sh — run the mapper hot-path benchmark and emit BENCH_mapper.json.
+#
+# Usage:
+#   scripts/bench-mapper.sh            # measure, write BENCH_mapper.json
+#   scripts/bench-mapper.sh --check    # additionally fail if allocs/op exceeds
+#                                      # ALLOC_CEILING (the CI perf-smoke gate)
+#
+# BenchmarkMapperCore maps the gemm kernel on the 4x4 CGRA with the LISA
+# engine at a fixed movement budget; its ns/op and allocs/op are the canonical
+# mapper hot-path numbers. The "seed" block below is the pre-incremental
+# implementation (deep-clone rollback, full-recompute cost, container/heap
+# Dijkstra) measured at the same -benchtime on the same workload; it is kept
+# in the JSON so the before/after ratio travels with the artifact.
+#
+# The alloc ceiling is deliberately loose (~3x the current steady state, still
+# ~10x below the seed) so the gate catches a regression of the incremental
+# machinery — an accidental per-movement clone or per-route heap boxing blows
+# through it instantly — without flaking on noise.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-100x}"
+ALLOC_CEILING="${ALLOC_CEILING:-12000}"
+OUT="${OUT:-BENCH_mapper.json}"
+
+# Seed-implementation numbers (commit f63b491, -benchtime 100x, same machine
+# class as CI): recorded once so the artifact documents the before/after.
+SEED_NS=16109082
+SEED_ALLOCS=115206
+SEED_BYTES=5511960
+
+check=0
+if [[ "${1:-}" == "--check" ]]; then
+  check=1
+fi
+
+echo "running BenchmarkMapperCore (-benchtime $BENCHTIME)..." >&2
+raw=$(go test -run '^$' -bench '^BenchmarkMapperCore$' -benchtime "$BENCHTIME" -benchmem .)
+echo "$raw" >&2
+
+line=$(echo "$raw" | grep '^BenchmarkMapperCore')
+ns=$(echo "$line" | awk '{for (i=1;i<=NF;i++) if ($(i+1)=="ns/op") printf "%d", $i}')
+bytes=$(echo "$line" | awk '{for (i=1;i<=NF;i++) if ($(i+1)=="B/op") printf "%d", $i}')
+allocs=$(echo "$line" | awk '{for (i=1;i<=NF;i++) if ($(i+1)=="allocs/op") printf "%d", $i}')
+
+if [[ -z "$ns" || -z "$allocs" ]]; then
+  echo "bench-mapper: could not parse benchmark output" >&2
+  exit 1
+fi
+
+speedup=$(awk -v a="$SEED_NS" -v b="$ns" 'BEGIN {printf "%.2f", a/b}')
+allocratio=$(awk -v a="$SEED_ALLOCS" -v b="$allocs" 'BEGIN {printf "%.2f", a/b}')
+
+cat > "$OUT" <<EOF
+{
+  "benchmark": "BenchmarkMapperCore",
+  "benchtime": "$BENCHTIME",
+  "seed": {
+    "commit": "f63b491",
+    "ns_per_op": $SEED_NS,
+    "bytes_per_op": $SEED_BYTES,
+    "allocs_per_op": $SEED_ALLOCS
+  },
+  "current": {
+    "ns_per_op": $ns,
+    "bytes_per_op": $bytes,
+    "allocs_per_op": $allocs
+  },
+  "speedup": $speedup,
+  "alloc_reduction": $allocratio,
+  "alloc_ceiling": $ALLOC_CEILING
+}
+EOF
+echo "wrote $OUT (ns/op=$ns allocs/op=$allocs speedup=${speedup}x allocs ÷${allocratio})" >&2
+
+if [[ "$check" == 1 ]]; then
+  if (( allocs > ALLOC_CEILING )); then
+    echo "bench-mapper: FAIL — allocs/op $allocs exceeds ceiling $ALLOC_CEILING" >&2
+    exit 1
+  fi
+  echo "bench-mapper: allocs/op $allocs within ceiling $ALLOC_CEILING" >&2
+fi
