@@ -134,7 +134,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "warning: model trained for %s, mapping on %s\n",
 				model.ArchName, ar.Name())
 		}
-		lbl = model.Predict(attr.Generate(g))
+		lbl, err = model.Predict(attr.Generate(g))
+		if err != nil {
+			fatal(err)
+		}
 	}
 	rr, err := engine.Run(ar, g, engine.Request{
 		Engine: eng,

@@ -174,8 +174,7 @@ func (c *Context) Run(ar arch.Arch, g *dfg.Graph, m Method) mapper.Result {
 	case MethodGreedy:
 		return mapper.MapGreedy(ar, g, c.Profile.MapOpts)
 	case MethodLISA:
-		model := c.ModelFor(ar)
-		lbl := model.Predict(attr.Generate(g))
+		lbl := c.predictLabels(ar, g)
 		opts := c.Profile.MapOpts
 		opts.Seed = c.Profile.Seed
 		res, err := mapper.Map(ar, g, mapper.AlgLISA, lbl, opts)
@@ -192,12 +191,23 @@ func (c *Context) Run(ar arch.Arch, g *dfg.Graph, m Method) mapper.Result {
 		var lbl *labels.Labels
 		if m == MethodSARP {
 			// The Fig. 12 ablation adds only the GNN routing priority to SA.
-			lbl = c.ModelFor(ar).Predict(attr.Generate(g))
+			lbl = c.predictLabels(ar, g)
 		}
 		return c.medianRun(ar, g, alg, lbl)
 	default:
 		panic("experiments: unknown method " + string(m))
 	}
+}
+
+// predictLabels runs the fused GNN inference for one grid cell. Grid-cell
+// models fit their own scales, so a skew error is a broken registry
+// contract — fail loudly like ModelFor does.
+func (c *Context) predictLabels(ar arch.Arch, g *dfg.Graph) *labels.Labels {
+	lbl, err := c.ModelFor(ar).Predict(attr.Generate(g))
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return lbl
 }
 
 // medianRun executes SARuns independently seeded runs — in parallel, as

@@ -36,12 +36,22 @@ func syntheticSample(seed int64) Sample {
 	return Sample{Set: set, Lbl: lbl}
 }
 
+// mustPredict runs Predict and fails the test on a scale-validation error.
+func mustPredict(t *testing.T, m *Model, set *attr.Set) *labels.Labels {
+	t.Helper()
+	lbl, err := m.Predict(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lbl
+}
+
 func TestPredictShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	m := NewModel(rng, "test")
 	g := kernels.MustByName("gemm")
 	set := attr.Generate(g)
-	lbl := m.Predict(set)
+	lbl := mustPredict(t, m, set)
 	if err := lbl.Validate(g); err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +103,7 @@ func TestAccuracyPerfectOnOwnPredictions(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	m := NewModel(rng, "test")
 	s := syntheticSample(99)
-	s.Lbl = m.Predict(s.Set)
+	s.Lbl = mustPredict(t, m, s.Set)
 	acc := m.Accuracy([]Sample{s})
 	for k, a := range acc {
 		if a != 1 {
@@ -109,8 +119,8 @@ func TestModelsAreIndependentPerArch(t *testing.T) {
 	m2 := NewModel(r2, "b")
 	s := syntheticSample(7)
 	m1.Train([]Sample{s}, TrainConfig{Epochs: 5, LR: 0.01, WeightDecay: 0})
-	p1 := m1.Predict(s.Set)
-	p2 := m2.Predict(s.Set)
+	p1 := mustPredict(t, m1, s.Set)
+	p2 := mustPredict(t, m2, s.Set)
 	diff := 0.0
 	for v := range p1.Order {
 		diff += p1.Order[v] - p2.Order[v]
@@ -154,8 +164,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if loaded.ArchName != "cgra-4x4" {
 		t.Fatal("arch name lost")
 	}
-	p1 := m.Predict(s.Set)
-	p2 := loaded.Predict(s.Set)
+	p1 := mustPredict(t, m, s.Set)
+	p2 := mustPredict(t, loaded, s.Set)
 	for v := range p1.Order {
 		if p1.Order[v] != p2.Order[v] {
 			t.Fatalf("prediction diverged after round trip at node %d", v)

@@ -18,6 +18,7 @@
 package gnn
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -181,8 +182,47 @@ func NewModel(rng *rand.Rand, archName string) *Model {
 }
 
 // Predict runs all four networks on a DFG's attribute set and assembles a
-// label set for the mapper.
-func (m *Model) Predict(set *attr.Set) *labels.Labels {
+// label set for the mapper. It uses the fused no-tape inference path
+// (infer.go), which is bit-identical to the taped forward passes; the error
+// is non-nil only when the model's scale vectors do not match the current
+// attribute dimensionality (version skew after an attribute-set change),
+// which would otherwise mix scaled and unscaled columns into one matmul and
+// predict garbage.
+func (m *Model) Predict(set *attr.Set) (*labels.Labels, error) {
+	out, err := m.PredictBatch([]*attr.Set{set})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// CheckScales validates the model's column scalers against the current
+// attribute dimensionality. Empty vectors mean "unscaled" (an untrained
+// model) and are valid; any other length must match exactly — a serialized
+// model whose scale vectors predate an attribute-set change must be
+// retrained, not silently half-scaled.
+func (m *Model) CheckScales() error {
+	for _, s := range []struct {
+		name      string
+		got, want int
+	}{
+		{"node", len(m.NodeScale), attr.NodeAttrDim},
+		{"edge", len(m.EdgeScale), attr.EdgeAttrDim},
+		{"dummy", len(m.DummyScale), attr.DummyAttrDim},
+	} {
+		if s.got != 0 && s.got != s.want {
+			return fmt.Errorf("gnn: model %q %s scale has %d columns, want %d (attribute-set version skew; retrain the model)",
+				m.ArchName, s.name, s.got, s.want)
+		}
+	}
+	return nil
+}
+
+// predictTaped is the reference implementation of Predict on the taped
+// engine. It is kept (unexported) as the ground truth the differential
+// tests and the inference benchmark compare the fused path against; the
+// fused Predict must reproduce its output bit for bit.
+func (m *Model) predictTaped(set *attr.Set) *labels.Labels {
 	g := set.An.G
 	out := labels.NewZero(g)
 
@@ -269,15 +309,22 @@ func (m *Model) scaledNodeInputs(set *attr.Set) (na, asap *tensor.Tensor) {
 	return na, asap
 }
 
-// scaledMatrix divides each column by its training-set scale (1 when the
-// model is unscaled).
+// scaledMatrix divides each column by its training-set scale (nil scale
+// means the model is unscaled). A scale vector whose length disagrees with
+// the matrix width is a shape bug — silently clamping would mix scaled and
+// unscaled columns into the same matmul — so it fails loudly; Predict
+// reports the same condition as a clean error before reaching here.
 func (m *Model) scaledMatrix(rows [][]float64, scale []float64) *tensor.Tensor {
 	t := tensor.FromRows(rows)
-	if scale == nil {
+	if scale == nil || t.Rows == 0 {
 		return t
 	}
+	if t.Cols != len(scale) {
+		panic(fmt.Sprintf("gnn: model %q scale has %d columns, matrix has %d (attribute-set version skew)",
+			m.ArchName, len(scale), t.Cols))
+	}
 	for i := 0; i < t.Rows; i++ {
-		for j := 0; j < t.Cols && j < len(scale); j++ {
+		for j := 0; j < t.Cols; j++ {
 			if scale[j] != 0 {
 				t.Set(i, j, t.At(i, j)/scale[j])
 			}

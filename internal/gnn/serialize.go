@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"github.com/lisa-go/lisa/internal/attr"
@@ -132,6 +133,26 @@ func Load(r io.Reader, seedModel *Model) (*Model, error) {
 		if scale.got != 0 && scale.got != scale.want {
 			return nil, fmt.Errorf("gnn: %s has %d columns, want %d", scale.name, scale.got, scale.want)
 		}
+	}
+	// fitScales only ever produces positive finite scales (zeros are forced
+	// to 1). A zero, negative or non-finite entry in a file would silently
+	// disable or corrupt scaling for that one column — the same
+	// mixed-scaling failure mode as a length skew — so reject it whole.
+	for _, sv := range []struct {
+		name string
+		vals []float64
+	}{
+		{"nodeScale", f.NodeScale}, {"edgeScale", f.EdgeScale}, {"dummyScale", f.DummyScale},
+	} {
+		for j, v := range sv.vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return nil, fmt.Errorf("gnn: %s[%d] = %v, want a positive finite scale", sv.name, j, v)
+			}
+		}
+	}
+	// Zero means "unscaled" (untrained model) and is valid.
+	if v := f.ASAPScale; v != 0 && (math.IsNaN(v) || math.IsInf(v, 0) || v < 0) {
+		return nil, fmt.Errorf("gnn: asapScale = %v, want a positive finite scale", v)
 	}
 
 	m := seedModel

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/lisa-go/lisa/internal/attr"
@@ -47,6 +48,12 @@ type TrainStats struct {
 	History [][4]float64
 	// Stopped reports whether validation-based early stopping fired.
 	Stopped bool
+	// BestValLoss is the lowest validation loss observed (zero when
+	// validation was disabled or never ran).
+	BestValLoss float64
+	// RestoredBest reports that the weights were rolled back to the
+	// best-validation snapshot because the final weights measured worse.
+	RestoredBest bool
 }
 
 // Train fits the four networks on samples. Each label's network trains
@@ -74,6 +81,7 @@ func (m *Model) Train(samples []Sample, cfg TrainConfig) TrainStats {
 	stats := TrainStats{NumSamples: len(samples)}
 	bestVal := math.Inf(1)
 	badEvals := 0
+	var bestSnap [][]float64 // weights at the best validation loss
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		stats.Epochs = epoch + 1
 		var sum [4]float64
@@ -104,6 +112,7 @@ func (m *Model) Train(samples []Sample, cfg TrainConfig) TrainStats {
 			if val < bestVal-1e-9 {
 				bestVal = val
 				badEvals = 0
+				bestSnap = m.snapshotParams(bestSnap)
 			} else {
 				badEvals++
 				if badEvals >= cfg.Patience {
@@ -113,7 +122,55 @@ func (m *Model) Train(samples []Sample, cfg TrainConfig) TrainStats {
 			}
 		}
 	}
+	// Early stopping tracked the best validation loss; returning the
+	// *last*-epoch weights would hand back a model measured Patience
+	// evaluations worse than the best one seen. Roll back whenever the most
+	// recent evaluation was not the best (badEvals > 0 covers both the
+	// stopped case and an epoch budget that ran out mid-plateau); when the
+	// last evaluation was the best, the current weights are at most
+	// ValidateEvery-1 unevaluated epochs past it and are kept.
+	if bestSnap != nil && badEvals > 0 {
+		m.restoreParams(bestSnap)
+		stats.RestoredBest = true
+	}
+	if !math.IsInf(bestVal, 1) {
+		stats.BestValLoss = bestVal
+	}
 	return stats
+}
+
+// allParams lists every trainable tensor of the four networks in a fixed
+// order (snapshot/restore pair over the same order).
+func (m *Model) allParams() []*tensor.Tensor {
+	out := append([]*tensor.Tensor{}, m.Order.Params()...)
+	out = append(out, m.Same.Params()...)
+	out = append(out, m.Spatial.Params()...)
+	out = append(out, m.Temporal.Params()...)
+	return out
+}
+
+// snapshotParams copies every trainable value into buf, allocating it on
+// first use and reusing it afterwards so repeated improvements don't churn.
+func (m *Model) snapshotParams(buf [][]float64) [][]float64 {
+	params := m.allParams()
+	if buf == nil {
+		buf = make([][]float64, len(params))
+		for i, p := range params {
+			buf[i] = make([]float64, len(p.Data))
+		}
+	}
+	for i, p := range params {
+		copy(buf[i], p.Data)
+	}
+	return buf
+}
+
+// restoreParams copies a snapshot taken by snapshotParams back into the
+// model's weights.
+func (m *Model) restoreParams(buf [][]float64) {
+	for i, p := range m.allParams() {
+		copy(p.Data, buf[i])
+	}
 }
 
 // validationLoss sums the four per-label MSE losses over a held-out set
@@ -204,19 +261,27 @@ func (m *Model) fitScales(samples []Sample) {
 	m.EdgeScale = make([]float64, attr.EdgeAttrDim)
 	m.DummyScale = make([]float64, attr.DummyAttrDim)
 	m.ASAPScale = 1
-	grow := func(scale []float64, rows [][]float64) {
+	grow := func(name string, scale []float64, rows [][]float64) {
 		for _, r := range rows {
+			// A row wider or narrower than the scale vector means the
+			// attribute set changed shape under the model; clamping silently
+			// (the old `j < len(scale)` guard) would fit scales to a prefix
+			// and mis-scale the rest forever after serialization.
+			if len(r) != len(scale) {
+				panic(fmt.Sprintf("gnn: %s attribute row has %d columns, want %d (attribute-set version skew)",
+					name, len(r), len(scale)))
+			}
 			for j, v := range r {
-				if j < len(scale) && math.Abs(v) > scale[j] {
+				if math.Abs(v) > scale[j] {
 					scale[j] = math.Abs(v)
 				}
 			}
 		}
 	}
 	for i := range samples {
-		grow(m.NodeScale, samples[i].Set.Node)
-		grow(m.EdgeScale, samples[i].Set.Edge)
-		grow(m.DummyScale, samples[i].Set.Dummy)
+		grow("node", m.NodeScale, samples[i].Set.Node)
+		grow("edge", m.EdgeScale, samples[i].Set.Edge)
+		grow("dummy", m.DummyScale, samples[i].Set.Dummy)
 		if cp := float64(samples[i].Set.An.CriticalPath); cp > m.ASAPScale {
 			m.ASAPScale = cp
 		}
@@ -235,10 +300,21 @@ func (m *Model) fitScales(samples []Sample) {
 // equals the rounded ground truth; same-level association and spatial
 // distance tolerate a difference of one; temporal distance tolerates two.
 func (m *Model) Accuracy(samples []Sample) [4]float64 {
+	sets := make([]*attr.Set, len(samples))
+	for i := range samples {
+		sets[i] = samples[i].Set
+	}
+	// One fused, batched inference pass over the whole evaluation set
+	// (bit-identical to per-sample Predict). The model fitted its own
+	// scales, so a skew error here is an internal invariant violation.
+	preds, err := m.PredictBatch(sets)
+	if err != nil {
+		panic("gnn: Accuracy: " + err.Error())
+	}
 	var hit, total [4]int
 	for i := range samples {
 		s := &samples[i]
-		pred := m.Predict(s.Set)
+		pred := preds[i]
 		for v := range s.Lbl.Order {
 			total[0]++
 			if math.Round(pred.Order[v]) == math.Round(s.Lbl.Order[v]) {

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/kernels"
+	"github.com/lisa-go/lisa/internal/registry"
+)
+
+func postLabels(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/labels", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestLabelsBatchEndpoint(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+
+	var dfgJSON bytes.Buffer
+	if err := kernels.MustByName("doitgen").WriteJSON(&dfgJSON); err != nil {
+		t.Fatal(err)
+	}
+	w := postLabels(t, h, fmt.Sprintf(
+		`{"arch":"cgra-4x4","kernels":["gemm","syrk"],"dfgs":[%s]}`, dfgJSON.String()))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp LabelsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Labels) != 3 {
+		t.Fatalf("got %d rows, want 3", len(resp.Labels))
+	}
+	for i, wantName := range []string{"gemm", "syrk", "doitgen"} {
+		row := resp.Labels[i]
+		if row.Name != wantName {
+			t.Fatalf("row %d name %q, want %q (request order must be preserved)", i, row.Name, wantName)
+		}
+		g := kernels.MustByName(wantName)
+		if row.Nodes != g.NumNodes() || len(row.Order) != g.NumNodes() {
+			t.Fatalf("%s: %d nodes, %d order values, want %d", wantName, row.Nodes, len(row.Order), g.NumNodes())
+		}
+		if len(row.Spatial) != g.NumEdges() || len(row.Temporal) != g.NumEdges() {
+			t.Fatalf("%s: edge label lengths %d/%d, want %d", wantName, len(row.Spatial), len(row.Temporal), g.NumEdges())
+		}
+		for e, v := range row.Temporal {
+			if v < 1 {
+				t.Fatalf("%s: temporal[%d] = %v, below the clamp of 1", wantName, e, v)
+			}
+		}
+		for j := 1; j < len(row.SameLevel); j++ {
+			a, b := row.SameLevel[j-1], row.SameLevel[j]
+			if a.A > b.A || (a.A == b.A && a.B >= b.B) {
+				t.Fatalf("%s: sameLevel not sorted at %d: %+v then %+v", wantName, j, a, b)
+			}
+		}
+	}
+
+	// Deterministic bodies: the identical request must serialize identically.
+	again := postLabels(t, h, fmt.Sprintf(
+		`{"arch":"cgra-4x4","kernels":["gemm","syrk"],"dfgs":[%s]}`, dfgJSON.String()))
+	if !bytes.Equal(w.Body.Bytes(), again.Body.Bytes()) {
+		t.Fatal("identical /v1/labels requests produced different bodies")
+	}
+
+	// Batch output must equal single-DFG output (the block-diagonal batching
+	// contract, observed end to end through HTTP).
+	single := postLabels(t, h, `{"arch":"cgra-4x4","kernels":["syrk"]}`)
+	var sr LabelsResponse
+	if err := json.Unmarshal(single.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	batchRow, _ := json.Marshal(resp.Labels[1])
+	singleRow, _ := json.Marshal(sr.Labels[0])
+	if !bytes.Equal(batchRow, singleRow) {
+		t.Fatalf("batched syrk row differs from single-DFG row:\n%s\n%s", batchRow, singleRow)
+	}
+}
+
+func TestLabelsBadRequests(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+	big := `{"arch":"cgra-4x4","kernels":[` + strings.Repeat(`"gemm",`, maxLabelBatch) + `"gemm"]}`
+	cases := map[string]string{
+		"unknown arch":   `{"arch":"tpu-9000","kernels":["gemm"]}`,
+		"unknown kernel": `{"arch":"cgra-4x4","kernels":["nope"]}`,
+		"empty batch":    `{"arch":"cgra-4x4"}`,
+		"oversized":      big,
+		"broken dfg":     `{"arch":"cgra-4x4","dfgs":[{"nodes":"garbage"}]}`,
+		"unknown field":  `{"arch":"cgra-4x4","kernels":["gemm"],"turbo":true}`,
+		"broken json":    `{`,
+	}
+	//lisa:nondet-ok each case asserts independently; execution order cannot change the verdict
+	for what, body := range cases {
+		if w := postLabels(t, h, body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", what, w.Code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/labels", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/labels: status %d, want 405", w.Code)
+	}
+}
+
+func TestLabelsWithoutModel503(t *testing.T) {
+	// No model and no on-demand training: unlike /v1/map (which degrades to
+	// plain SA), a labels request has nothing to degrade to — 503 tells the
+	// client to train or reload first.
+	reg := registry.New(registry.Config{TrainOnDemand: false})
+	s := New(Config{}, reg)
+	defer s.Close()
+	w := postLabels(t, s.Handler(), `{"arch":"cgra-4x4","kernels":["gemm"]}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", w.Code, w.Body)
+	}
+}

@@ -224,6 +224,7 @@ func (s *Server) isDraining() bool {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/map", s.handleMap)
+	mux.HandleFunc("/v1/labels", s.handleLabels)
 	mux.HandleFunc("/v1/archs", s.handleArchs)
 	mux.HandleFunc("/v1/kernels", s.handleKernels)
 	mux.HandleFunc("/v1/reload", s.handleReload)
@@ -569,6 +570,144 @@ func (s *Server) requestGraph(req *MapRequest) (*dfg.Graph, error) {
 		}
 	}
 	return g, nil
+}
+
+// maxLabelBatch caps the number of DFGs per /v1/labels request: one batch
+// is a single fused inference pass, so the cap bounds the packed matrix
+// size the same way MaxDFGNodes bounds one mapping request.
+const maxLabelBatch = 64
+
+// LabelsRequest is the POST /v1/labels body: one architecture and a batch
+// of DFGs, named kernels and/or inline documents, predicted in a single
+// fused GNN inference pass.
+type LabelsRequest struct {
+	Arch    string            `json:"arch"`
+	Kernels []string          `json:"kernels,omitempty"`
+	DFGs    []json.RawMessage `json:"dfgs,omitempty"`
+}
+
+// SameLevelEntry is one label-2 prediction, sorted by (A, B) so the
+// response bytes are deterministic.
+type SameLevelEntry struct {
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	Value float64 `json:"value"`
+}
+
+// LabelsRow carries the four predicted label sets for one DFG of the batch,
+// in request order (kernels first, then inline DFGs).
+type LabelsRow struct {
+	Name      string           `json:"name"`
+	Nodes     int              `json:"nodes"`
+	Edges     int              `json:"edges"`
+	Order     []float64        `json:"order"`
+	Spatial   []float64        `json:"spatial"`
+	Temporal  []float64        `json:"temporal"`
+	SameLevel []SameLevelEntry `json:"sameLevel,omitempty"`
+}
+
+// LabelsResponse is the POST /v1/labels body on success.
+type LabelsResponse struct {
+	Arch   string      `json:"arch"`
+	Labels []LabelsRow `json:"labels"`
+}
+
+// handleLabels serves raw GNN label predictions: the compile-time inference
+// half of the pipeline without the annealer, for clients that run their own
+// mapper or inspect what the model would steer it with. The whole batch is
+// one fused PredictBatch pass — byte-identical to per-DFG prediction.
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/labels"
+	if r.Method != http.MethodPost {
+		s.fail(w, route, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.isDraining() {
+		s.fail(w, route, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req LabelsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, route, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ar, ok := arch.ByName(req.Arch)
+	if !ok {
+		s.fail(w, route, http.StatusBadRequest, "unknown arch %q (have %v)", req.Arch, arch.Names())
+		return
+	}
+	n := len(req.Kernels) + len(req.DFGs)
+	if n == 0 {
+		s.fail(w, route, http.StatusBadRequest, "at least one of \"kernels\" and \"dfgs\" must be non-empty")
+		return
+	}
+	if n > maxLabelBatch {
+		s.fail(w, route, http.StatusBadRequest, "batch of %d DFGs exceeds the limit of %d", n, maxLabelBatch)
+		return
+	}
+	gs := make([]*dfg.Graph, 0, n)
+	for _, name := range req.Kernels {
+		g, err := kernels.ByName(name)
+		if err != nil {
+			s.failErr(w, route, http.StatusBadRequest, err)
+			return
+		}
+		gs = append(gs, g)
+	}
+	for i, raw := range req.DFGs {
+		// Inline DFGs are untrusted: structurally validated and size-capped
+		// like /v1/map uploads.
+		g, err := dfg.ReadJSON(bytes.NewReader(raw))
+		if err != nil {
+			s.failErr(w, route, http.StatusBadRequest, fmt.Errorf("dfgs[%d]: %w", i, err))
+			return
+		}
+		if err := g.CheckSize(s.cfg.MaxDFGNodes, s.cfg.MaxDFGEdges); err != nil {
+			s.failErr(w, route, http.StatusBadRequest, fmt.Errorf("dfgs[%d]: %w", i, err))
+			return
+		}
+		gs = append(gs, g)
+	}
+	// Resolve the model first so "no model for this target" is backpressure
+	// (503, retry after training/reload), not an internal error.
+	if _, err := s.reg.ModelFor(ar); err != nil {
+		s.fail(w, route, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	preds, err := s.reg.LabelsForBatch(ar, gs)
+	if err != nil {
+		// The only remaining failure is scale-vector version skew — a broken
+		// model artifact, squarely a server-side error.
+		s.fail(w, route, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := LabelsResponse{Arch: ar.Name(), Labels: make([]LabelsRow, len(gs))}
+	for i, g := range gs {
+		lbl := preds[i]
+		row := LabelsRow{
+			Name:     g.Name,
+			Nodes:    g.NumNodes(),
+			Edges:    g.NumEdges(),
+			Order:    lbl.Order,
+			Spatial:  lbl.Spatial,
+			Temporal: lbl.Temporal,
+		}
+		//lisa:nondet-ok collected into a slice and sorted by (A, B) below
+		for p, v := range lbl.SameLevel {
+			row.SameLevel = append(row.SameLevel, SameLevelEntry{A: p.A, B: p.B, Value: v})
+		}
+		sort.Slice(row.SameLevel, func(a, b int) bool {
+			if row.SameLevel[a].A != row.SameLevel[b].A {
+				return row.SameLevel[a].A < row.SameLevel[b].A
+			}
+			return row.SameLevel[a].B < row.SameLevel[b].B
+		})
+		resp.Labels[i] = row
+	}
+	s.metrics.Request(route, http.StatusOK)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ArchInfo is one /v1/archs row.

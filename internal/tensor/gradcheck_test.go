@@ -1,0 +1,188 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// This file is the systematic finite-difference audit of the tape: one test
+// per differentiable op, each comparing every analytic input gradient against
+// a central-difference estimate. tensor_test.go keeps a few op gradients
+// covered incidentally; the suite here is the exhaustive one that CI runs
+// under -race next to the fused-vs-taped differential tests.
+
+// gradCheck runs forward once, backpropagates, and compares the analytic
+// gradient of every parameter entry against numericalGrad.
+func gradCheck(t *testing.T, params []*Tensor, forward func() *Tensor, tol float64) {
+	t.Helper()
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+	Backward(forward())
+	for pi, p := range params {
+		for idx := range p.Data {
+			num := numericalGrad(p, idx, func() float64 { return forward().Data[0] })
+			if !approxEqual(p.Grad[idx], num, tol) {
+				t.Errorf("param %d grad[%d] = %v, numerical %v", pi, idx, p.Grad[idx], num)
+			}
+		}
+	}
+}
+
+// kinkFree nudges every entry away from zero so ReLU's kink and Reciprocal's
+// eps guard never sit inside the finite-difference window.
+func kinkFree(p *Tensor, margin float64) {
+	for i, v := range p.Data {
+		if v >= 0 && v < margin {
+			p.Data[i] = v + margin
+		}
+		if v < 0 && v > -margin {
+			p.Data[i] = v - margin
+		}
+	}
+}
+
+func TestGradCheckMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	a := Param(rng, 3, 4)
+	b := Param(rng, 4, 2)
+	target := FromRows([][]float64{{0.3, -0.2}, {1, 0.5}, {-0.4, 0.1}})
+	gradCheck(t, []*Tensor{a, b}, func() *Tensor {
+		return MSE(MatMul(a, b), target)
+	}, 1e-4)
+}
+
+func TestGradCheckAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	a := Param(rng, 2, 3)
+	b := Param(rng, 2, 3)
+	target := New(2, 3)
+	gradCheck(t, []*Tensor{a, b}, func() *Tensor {
+		return MSE(Add(a, b), target)
+	}, 1e-4)
+}
+
+func TestGradCheckMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	a := Param(rng, 2, 3)
+	b := Param(rng, 2, 3)
+	target := New(2, 3)
+	gradCheck(t, []*Tensor{a, b}, func() *Tensor {
+		return MSE(Mul(a, b), target)
+	}, 1e-4)
+}
+
+func TestGradCheckReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	x := Param(rng, 3, 3)
+	kinkFree(x, 1e-3) // keep the finite-difference window off the kink
+	target := New(3, 3)
+	gradCheck(t, []*Tensor{x}, func() *Tensor {
+		return MSE(ReLU(x), target)
+	}, 1e-4)
+}
+
+func TestGradCheckConcatCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	a := Param(rng, 3, 2)
+	b := Param(rng, 3, 1)
+	c := Param(rng, 3, 3)
+	target := New(3, 6)
+	gradCheck(t, []*Tensor{a, b, c}, func() *Tensor {
+		return MSE(ConcatCols(a, b, c), target)
+	}, 1e-4)
+}
+
+func TestGradCheckReciprocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	x := Param(rng, 2, 4)
+	for i := range x.Data {
+		x.Data[i] = x.Data[i]/2 + 1.5 // all entries well above the eps guard
+	}
+	target := New(2, 4)
+	gradCheck(t, []*Tensor{x}, func() *Tensor {
+		return MSE(Reciprocal(x, 1e-9), target)
+	}, 1e-4)
+}
+
+func TestGradCheckAggregateAllKinds(t *testing.T) {
+	sets := [][]int{{0, 2}, {1}, {0, 1, 2, 3}, {}}
+	target := New(4, 2)
+	for _, kind := range []AggKind{AggMean, AggSum, AggMax, AggMin} {
+		x := Param(rand.New(rand.NewSource(int64(107+kind))), 4, 2)
+		// Spread entries so max/min winners are unique: a tie would make the
+		// analytic subgradient and the two-sided difference legitimately
+		// disagree.
+		for i := range x.Data {
+			x.Data[i] += float64(i) * 0.37
+		}
+		gradCheck(t, []*Tensor{x}, func() *Tensor {
+			return MSE(Aggregate(x, sets, kind), target)
+		}, 1e-3)
+	}
+}
+
+func TestGradCheckMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	pred := Param(rng, 2, 3)
+	target := FromRows([][]float64{{0.5, -1, 2}, {0, 1, -0.5}})
+	gradCheck(t, []*Tensor{pred}, func() *Tensor {
+		return MSE(pred, target)
+	}, 1e-4)
+}
+
+// TestGradCheckDeepComposite chains every op into one loss and checks the
+// full tape end to end: relu(x@w1) aggregated, concatenated with an
+// element-wise branch, through a reciprocal, into MSE.
+func TestGradCheckDeepComposite(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	w1 := Param(rng, 3, 4)
+	w2 := Param(rng, 3, 4)
+	x := FromRows([][]float64{{1, -0.5, 0.25}, {-1, 1, 0.5}, {0.3, 0.7, -0.9}, {2, 0.1, 1.1}})
+	sets := [][]int{{0, 1}, {2, 3}, {1, 2}}
+	forward := func() *Tensor {
+		h := ReLU(MatMul(x, w1))
+		agg := Aggregate(h, sets, AggMean)
+		branch := Mul(MatMul(x, w2), MatMul(x, w2))
+		joined := ConcatCols(agg, Aggregate(branch, sets, AggSum))
+		r := Reciprocal(Add(joined, onesLike(joined, 2)), 1e-9)
+		return MSE(r, New(3, 8))
+	}
+	gradCheck(t, []*Tensor{w1, w2}, forward, 1e-3)
+}
+
+// onesLike returns a constant tensor shaped like t filled with v, to shift a
+// composite away from Reciprocal's guard region.
+func onesLike(t *Tensor, v float64) *Tensor {
+	out := New(t.Rows, t.Cols)
+	for i := range out.Data {
+		out.Data[i] = v
+	}
+	return out
+}
+
+// TestMSEEmptyPanics locks in the zero-length guard: an empty prediction is
+// an upstream shape bug and must fail loudly, not divide by zero.
+func TestMSEEmptyPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MSE of an empty tensor must panic")
+		}
+		if s, ok := r.(string); !ok || !containsStr(s, "empty") {
+			t.Fatalf("panic message %v does not mention emptiness", r)
+		}
+	}()
+	MSE(New(0, 3), New(0, 3))
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

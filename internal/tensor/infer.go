@@ -1,0 +1,263 @@
+// Inference-only execution mode. The taped engine in tensor.go allocates a
+// Grad buffer, a prev list and a backward closure for every intermediate the
+// moment any input is trainable — the right trade for training, pure
+// overhead for serving, where trained weights carry requiresGrad but nobody
+// ever calls Backward. Infer is the no-tape fast path: the same forward
+// math, bit-for-bit, evaluated into a reusable arena.
+//
+// Bit-identity with the taped ops is a hard contract (the gnn package's
+// differential tests enforce it): every Infer op performs the same float64
+// operations in the same order as its taped counterpart, so a served
+// prediction is byte-identical to what the training-time forward pass would
+// have produced. In particular InferMatMul accumulates over k in ascending
+// order with the same skip-zero rule as MatMul — the transposed layout
+// changes the memory access pattern, never the arithmetic sequence.
+package tensor
+
+import "fmt"
+
+// inferSlabFloats sizes the arena's float64 slabs (128 KiB each).
+const inferSlabFloats = 16384
+
+// inferSlabHdrs sizes the arena's Tensor-header slabs.
+const inferSlabHdrs = 256
+
+// mmBlock is the output-column block width of the transposed matmul: one
+// block of B-transposed rows stays hot in cache while every A row streams
+// past it. Blocking never splits the k (reduction) dimension, so the
+// accumulation order — and therefore the result bits — match the taped
+// MatMul exactly.
+const mmBlock = 48
+
+// Infer is an inference-only evaluator: an arena of matrices plus no-tape
+// implementations of the forward operations. Tensors returned by its
+// methods carry no Grad, no tape, and borrow memory owned by the arena —
+// they are valid until the next Reset. An Infer is not safe for concurrent
+// use; pool instances across goroutines instead (sync.Pool is a good fit:
+// after a few calls every allocation is a slab reuse).
+type Infer struct {
+	slabs [][]float64
+	slab  int // index of the slab currently being carved
+	off   int // carve offset within slabs[slab]
+
+	hdrs   [][]Tensor
+	hdrCur int
+	hdrOff int
+}
+
+// NewInfer returns an empty arena; slabs are allocated on first use and
+// kept across Reset.
+func NewInfer() *Infer { return &Infer{} }
+
+// Reset reclaims every tensor handed out since the previous Reset. The
+// memory is retained for reuse; tensors obtained earlier must no longer be
+// read.
+func (in *Infer) Reset() {
+	in.slab, in.off = 0, 0
+	in.hdrCur, in.hdrOff = 0, 0
+}
+
+// alloc carves a zeroed length-n block out of the arena. Slabs are never
+// reallocated (only appended), so previously returned slices stay valid
+// until Reset.
+func (in *Infer) alloc(n int) []float64 {
+	for {
+		if in.slab < len(in.slabs) {
+			s := in.slabs[in.slab]
+			if in.off+n <= len(s) {
+				out := s[in.off : in.off+n : in.off+n]
+				in.off += n
+				for i := range out {
+					out[i] = 0
+				}
+				return out
+			}
+			in.slab++
+			in.off = 0
+			continue
+		}
+		size := inferSlabFloats
+		if n > size {
+			size = n
+		}
+		in.slabs = append(in.slabs, make([]float64, size))
+	}
+}
+
+// hdr carves one Tensor header. Header slabs are append-only for the same
+// pointer-stability reason as data slabs.
+func (in *Infer) hdr() *Tensor {
+	if in.hdrCur == len(in.hdrs) {
+		in.hdrs = append(in.hdrs, make([]Tensor, inferSlabHdrs))
+	}
+	t := &in.hdrs[in.hdrCur][in.hdrOff]
+	in.hdrOff++
+	if in.hdrOff == len(in.hdrs[in.hdrCur]) {
+		in.hdrCur++
+		in.hdrOff = 0
+	}
+	return t
+}
+
+// NewMat allocates a zeroed rows×cols matrix in the arena. The result never
+// requires gradients; feeding it to the taped ops is allowed (it is a plain
+// constant there).
+func (in *Infer) NewMat(rows, cols int) *Tensor {
+	t := in.hdr()
+	*t = Tensor{Rows: rows, Cols: cols, Data: in.alloc(rows * cols)}
+	return t
+}
+
+// MatMul returns a @ b without touching the tape. The inner product runs
+// over a transposed copy of b in column blocks — both operands stream
+// linearly — while accumulating exactly like the taped MatMul: ascending k,
+// zero entries of a skipped.
+func (in *Infer) MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape (%dx%d)@(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	bt := in.alloc(b.Rows * b.Cols)
+	for k := 0; k < b.Rows; k++ {
+		row := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for j, v := range row {
+			bt[j*b.Rows+k] = v
+		}
+	}
+	out := in.NewMat(a.Rows, b.Cols)
+	for jb := 0; jb < b.Cols; jb += mmBlock {
+		je := jb + mmBlock
+		if je > b.Cols {
+			je = b.Cols
+		}
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j := jb; j < je; j++ {
+				brow := bt[j*b.Rows : (j+1)*b.Rows]
+				acc := 0.0
+				for k, av := range arow {
+					if av == 0 {
+						continue
+					}
+					acc += av * brow[k]
+				}
+				orow[j] = acc
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b (same shape), no tape.
+func (in *Infer) Add(a, b *Tensor) *Tensor {
+	checkSameShape("add", a, b)
+	out := in.NewMat(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the element-wise product a ⊙ b, no tape.
+func (in *Infer) Mul(a, b *Tensor) *Tensor {
+	checkSameShape("mul", a, b)
+	out := in.NewMat(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// ReLU returns max(x, 0) element-wise, no tape.
+func (in *Infer) ReLU(x *Tensor) *Tensor {
+	out := in.NewMat(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates tensors with equal row counts along columns, no
+// tape.
+func (in *Infer) ConcatCols(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: concat of nothing")
+	}
+	rows := parts[0].Rows
+	cols := 0
+	for _, p := range parts {
+		if p.Rows != rows {
+			panic("tensor: concat row mismatch")
+		}
+		cols += p.Cols
+	}
+	out := in.NewMat(rows, cols)
+	off := 0
+	for _, p := range parts {
+		for i := 0; i < rows; i++ {
+			copy(out.Data[i*cols+off:i*cols+off+p.Cols], p.Data[i*p.Cols:(i+1)*p.Cols])
+		}
+		off += p.Cols
+	}
+	return out
+}
+
+// Reciprocal mirrors the taped Reciprocal: entries with magnitude below eps
+// yield exactly 1.
+func (in *Infer) Reciprocal(x *Tensor, eps float64) *Tensor {
+	out := in.NewMat(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v < eps && v > -eps {
+			out.Data[i] = 1
+		} else {
+			out.Data[i] = 1 / v
+		}
+	}
+	return out
+}
+
+// Aggregate pools rows of x over index sets exactly like the taped
+// Aggregate (empty sets yield zero rows; mean divides after summing in set
+// order), without recording arg-extremum selections.
+func (in *Infer) Aggregate(x *Tensor, sets [][]int, kind AggKind) *Tensor {
+	cols := x.Cols
+	out := in.NewMat(len(sets), cols)
+	for i, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		orow := out.Data[i*cols : (i+1)*cols]
+		for j := 0; j < cols; j++ {
+			switch kind {
+			case AggMean, AggSum:
+				sum := 0.0
+				for _, s := range set {
+					sum += x.Data[s*cols+j]
+				}
+				if kind == AggMean {
+					sum /= float64(len(set))
+				}
+				orow[j] = sum
+			case AggMax:
+				best := x.Data[set[0]*cols+j]
+				for _, s := range set[1:] {
+					if v := x.Data[s*cols+j]; v > best {
+						best = v
+					}
+				}
+				orow[j] = best
+			case AggMin:
+				best := x.Data[set[0]*cols+j]
+				for _, s := range set[1:] {
+					if v := x.Data[s*cols+j]; v < best {
+						best = v
+					}
+				}
+				orow[j] = best
+			}
+		}
+	}
+	return out
+}

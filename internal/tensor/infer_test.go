@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randMat fills a rows×cols matrix with a mix of signed values and exact
+// zeros (the taped MatMul skips zero entries of a; the fused path must skip
+// the same ones to preserve the accumulation sequence).
+func randMat(rng *rand.Rand, rows, cols int) *Tensor {
+	t := New(rows, cols)
+	for i := range t.Data {
+		switch rng.Intn(5) {
+		case 0:
+			t.Data[i] = 0
+		default:
+			t.Data[i] = rng.NormFloat64()
+		}
+	}
+	return t
+}
+
+// assertBitIdentical compares two tensors via Float64bits: the fused path
+// promises the same arithmetic sequence as the tape, so even the last ulp
+// must agree.
+func assertBitIdentical(t *testing.T, op string, taped, fused *Tensor) {
+	t.Helper()
+	if taped.Rows != fused.Rows || taped.Cols != fused.Cols {
+		t.Fatalf("%s: shape (%dx%d) vs (%dx%d)", op, taped.Rows, taped.Cols, fused.Rows, fused.Cols)
+	}
+	for i := range taped.Data {
+		if math.Float64bits(taped.Data[i]) != math.Float64bits(fused.Data[i]) {
+			t.Fatalf("%s: element %d differs: %v (taped) vs %v (fused)",
+				op, i, taped.Data[i], fused.Data[i])
+		}
+	}
+}
+
+func TestInferMatMulBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	in := NewInfer()
+	// Sweep shapes past the mmBlock boundary so column blocking is exercised.
+	for _, shape := range [][3]int{{1, 1, 1}, {3, 5, 2}, {7, 4, 9}, {5, 3, mmBlock}, {4, 6, mmBlock + 17}, {2, 8, 2*mmBlock + 5}} {
+		a := randMat(rng, shape[0], shape[1])
+		b := randMat(rng, shape[1], shape[2])
+		assertBitIdentical(t, "matmul", MatMul(a, b), in.MatMul(a, b))
+		in.Reset()
+	}
+}
+
+func TestInferElementwiseBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	in := NewInfer()
+	a := randMat(rng, 4, 7)
+	b := randMat(rng, 4, 7)
+	assertBitIdentical(t, "add", Add(a, b), in.Add(a, b))
+	assertBitIdentical(t, "mul", Mul(a, b), in.Mul(a, b))
+	assertBitIdentical(t, "relu", ReLU(a), in.ReLU(a))
+	assertBitIdentical(t, "reciprocal", Reciprocal(a, 1e-9), in.Reciprocal(a, 1e-9))
+	// Entries inside the eps guard must map to exactly 1 on both paths.
+	g := FromRows([][]float64{{0, 1e-12, -1e-12, 2}})
+	assertBitIdentical(t, "reciprocal-guard", Reciprocal(g, 1e-9), in.Reciprocal(g, 1e-9))
+}
+
+func TestInferConcatColsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	in := NewInfer()
+	a := randMat(rng, 3, 2)
+	b := randMat(rng, 3, 5)
+	c := randMat(rng, 3, 1)
+	assertBitIdentical(t, "concat", ConcatCols(a, b, c), in.ConcatCols(a, b, c))
+}
+
+func TestInferAggregateBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	in := NewInfer()
+	x := randMat(rng, 6, 3)
+	sets := [][]int{{0, 1, 2}, {5}, {}, {3, 1, 4, 0}, {2, 2}}
+	for _, kind := range []AggKind{AggMean, AggSum, AggMax, AggMin} {
+		assertBitIdentical(t, "aggregate", Aggregate(x, sets, kind), in.Aggregate(x, sets, kind))
+	}
+}
+
+// TestInferResetReuse proves the arena hands out the same memory after Reset
+// and that reuse cannot leak stale values: a second pass over different data
+// must produce results untainted by the first.
+func TestInferResetReuse(t *testing.T) {
+	in := NewInfer()
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	first := in.MatMul(a, b)
+	got := append([]float64(nil), first.Data...)
+	in.Reset()
+	zero := New(2, 2)
+	second := in.MatMul(zero, b)
+	for i, v := range second.Data {
+		if v != 0 {
+			t.Fatalf("stale arena value leaked: element %d = %v", i, v)
+		}
+	}
+	in.Reset()
+	third := in.MatMul(a, b)
+	for i := range got {
+		if third.Data[i] != got[i] {
+			t.Fatalf("post-Reset recompute diverged at %d: %v vs %v", i, third.Data[i], got[i])
+		}
+	}
+}
+
+// TestInferLargeAllocSpansSlabs forces a single matrix bigger than one slab
+// and checks it still round-trips.
+func TestInferLargeAllocSpansSlabs(t *testing.T) {
+	in := NewInfer()
+	rows, cols := 200, 100 // 20000 floats > inferSlabFloats
+	m := in.NewMat(rows, cols)
+	if len(m.Data) != rows*cols {
+		t.Fatalf("oversized alloc: got %d floats", len(m.Data))
+	}
+	m.Data[0], m.Data[rows*cols-1] = 1, 2
+	if m.At(0, 0) != 1 || m.At(rows-1, cols-1) != 2 {
+		t.Fatal("oversized matrix not addressable")
+	}
+}
+
+// TestInferSteadyStateAllocs is the tentpole's contract: after warmup, a
+// Reset+forward cycle runs entirely out of retained slabs.
+func TestInferSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	in := NewInfer()
+	a := randMat(rng, 16, 12)
+	b := randMat(rng, 12, 20)
+	sets := [][]int{{0, 1}, {2}, {3, 4, 5}}
+	cycle := func() {
+		in.Reset()
+		h := in.ReLU(in.MatMul(a, b))
+		in.Aggregate(h, sets, AggMean)
+	}
+	cycle() // warm the slabs
+	allocs := testing.AllocsPerRun(50, cycle)
+	if allocs != 0 {
+		t.Fatalf("steady-state inference allocates %v times per cycle, want 0", allocs)
+	}
+}

@@ -361,9 +361,15 @@ func Aggregate(x *Tensor, sets [][]int, kind AggKind) *Tensor {
 }
 
 // MSE returns the scalar mean-squared error between pred and target (target
-// is treated as a constant).
+// is treated as a constant). An empty prediction is a shape bug upstream
+// (e.g. a zero-row label slice reaching the loss): dividing by zero here
+// would yield a NaN that silently poisons validation-loss sums and
+// early-stopping comparisons, so it fails loudly like the other ops.
 func MSE(pred, target *Tensor) *Tensor {
 	checkSameShape("mse", pred, target)
+	if len(pred.Data) == 0 {
+		panic("tensor: MSE of an empty prediction (zero elements); upstream shape bug")
+	}
 	n := float64(len(pred.Data))
 	out := result(1, 1, []*Tensor{pred}, func(out *Tensor) {
 		if pred.needsTape() {

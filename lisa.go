@@ -160,19 +160,43 @@ func (f *Framework) Train(opt TrainOptions) TrainReport {
 }
 
 // DeriveLabels predicts the four labels for a DFG: the trained GNN when
-// available, the §V-B initialization otherwise.
-func (f *Framework) DeriveLabels(g *Graph) *Labels {
+// available, the §V-B initialization otherwise. The error is non-nil only
+// when the model's serialized scale vectors do not match the current
+// attribute dimensionality (version skew), which would otherwise produce
+// silently garbage labels.
+func (f *Framework) DeriveLabels(g *Graph) (*Labels, error) {
 	if f.Model != nil {
 		return f.Model.Predict(attr.Generate(g))
 	}
-	return labels.Initial(dfg.Analyze(g))
+	return labels.Initial(dfg.Analyze(g)), nil
+}
+
+// DeriveLabelsBatch predicts labels for many DFGs in one fused, batched
+// inference pass (byte-identical to per-DFG DeriveLabels).
+func (f *Framework) DeriveLabelsBatch(gs []*Graph) ([]*Labels, error) {
+	if f.Model == nil {
+		out := make([]*Labels, len(gs))
+		for i, g := range gs {
+			out[i] = labels.Initial(dfg.Analyze(g))
+		}
+		return out, nil
+	}
+	sets := make([]*attr.Set, len(gs))
+	for i, g := range gs {
+		sets[i] = attr.Generate(g)
+	}
+	return f.Model.PredictBatch(sets)
 }
 
 // Map runs the label-aware simulated annealing of Algorithm 1. The error
-// is nil except for injected faults (internal/fault); a kernel that merely
-// cannot be mapped is a Result with OK=false.
+// is nil except for injected faults (internal/fault) and label version
+// skew; a kernel that merely cannot be mapped is a Result with OK=false.
 func (f *Framework) Map(g *Graph) (Result, error) {
-	return mapper.Map(f.Arch, g, mapper.AlgLISA, f.DeriveLabels(g), f.MapOpts)
+	lbl, err := f.DeriveLabels(g)
+	if err != nil {
+		return Result{}, err
+	}
+	return mapper.Map(f.Arch, g, mapper.AlgLISA, lbl, f.MapOpts)
 }
 
 // MapBaseline runs the vanilla simulated-annealing baseline.

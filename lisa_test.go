@@ -54,7 +54,10 @@ func TestTrainThenMap(t *testing.T) {
 		t.Fatal("model missing after training")
 	}
 	g, _ := lisa.Kernel("doitgen")
-	lbl := fw.DeriveLabels(g)
+	lbl, err := fw.DeriveLabels(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(lbl.Order) != g.NumNodes() {
 		t.Fatal("labels not shaped for DFG")
 	}
