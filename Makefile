@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: build test bench examples figures serve vet lint fuzz clean
+.PHONY: build test bench examples figures serve cluster-smoke vet lint fuzz clean
 
 build:
 	go build ./...
@@ -39,6 +39,12 @@ figures:
 # service"); pass MODELS=dir to pre-load lisa-train model files.
 serve:
 	go run ./cmd/lisa-serve -addr :8080 $(if $(MODELS),-models $(MODELS))
+
+# End-to-end 3-node cluster smoke test (same script as the CI cluster-smoke
+# job): byte-identical bodies on every node, one mapper run fleet-wide, a
+# restarted node serving from its persistent store with zero fresh compute.
+cluster-smoke:
+	scripts/cluster-smoke.sh
 
 fuzz:
 	go test -fuzz FuzzParseDOT -fuzztime 30s ./internal/dfg/

@@ -10,12 +10,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/map      {"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7}
-//	GET  /v1/archs    capability discovery: targets + model readiness/errors
-//	GET  /v1/kernels  the built-in PolyBench kernels
-//	POST /v1/reload   clear cached training failures, rescan the models dir
-//	GET  /healthz     liveness (503 while draining)
-//	GET  /metrics     request counts, cache hit ratio, latency histograms
+//	POST /v1/map        {"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7}
+//	POST /v1/map/batch  {"items":[...]} — many mapping requests, one round trip
+//	GET  /v1/archs      capability discovery: targets + model readiness/errors
+//	GET  /v1/kernels    the built-in PolyBench kernels
+//	POST /v1/reload     clear cached training failures, rescan the models dir
+//	GET  /healthz       liveness (always 200 while the process serves)
+//	GET  /readyz        readiness (503 while draining or the store is unwritable)
+//	GET  /metrics       request counts, cache tiers, cluster routing, latency
+//
+// -store-dir persists results on disk (content-addressed, crash-tolerant):
+// a restarted daemon answers previously computed requests byte-identically
+// without re-running the mapper. -peers/-self join a static fleet: each
+// request key has one owning node on a consistent-hash ring, non-owners
+// proxy to it, and a dead owner degrades to local compute.
 //
 // SIGINT/SIGTERM drains: the listener stops accepting, in-flight mappings
 // finish, then the process exits.
@@ -36,9 +44,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/lisa-go/lisa/internal/cluster"
 	"github.com/lisa-go/lisa/internal/dfg"
 	"github.com/lisa-go/lisa/internal/fault"
 	"github.com/lisa-go/lisa/internal/gnn"
@@ -46,6 +56,7 @@ import (
 	"github.com/lisa-go/lisa/internal/mapper"
 	"github.com/lisa-go/lisa/internal/registry"
 	"github.com/lisa-go/lisa/internal/service"
+	"github.com/lisa-go/lisa/internal/store"
 	"github.com/lisa-go/lisa/internal/traingen"
 )
 
@@ -56,6 +67,11 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent mapping jobs (0 = all CPUs)")
 	queue := flag.Int("queue", 64, "queued mapping jobs beyond the workers before requests get 429")
 	cacheEntries := flag.Int("cache", 4096, "result-cache entries (LRU)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "result-cache byte bound (-1 = unbounded)")
+	storeDir := flag.String("store-dir", "", "directory for the persistent result store (empty = memory only)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs forming a static cluster (requires -self)")
+	self := flag.String("self", "", "this node's base URL as it appears in -peers")
+	maxBatch := flag.Int("max-batch", 64, "max items per /v1/map/batch request")
 	moves := flag.Int("moves", 2400, "default SA movement budget per II")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request mapping deadline")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on the per-request deadline")
@@ -102,10 +118,41 @@ func main() {
 		log.Printf("loaded %d model(s) from %s: %v", len(names), *modelsDir, names)
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("lisa-serve: -store-dir %s: %v", *storeDir, err)
+		}
+		log.Printf("lisa-serve: store %s: %d entries (%d bytes), %d dropped in recovery, generation %d",
+			st.Dir(), st.Len(), st.Bytes(), st.Dropped(), st.Generation())
+	}
+
+	var cl *cluster.Cluster
+	if *peers != "" || *self != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		var err error
+		cl, err = cluster.New(cluster.Config{Self: *self, Peers: peerList})
+		if err != nil {
+			log.Fatalf("lisa-serve: -peers/-self: %v", err)
+		}
+		log.Printf("lisa-serve: cluster of %d nodes, self=%s", len(peerList), cl.Self())
+	}
+
 	svc := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		Store:           st,
+		Cluster:         cl,
+		MaxBatchItems:   *maxBatch,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		MapOpts:         mapper.Options{MaxMoves: *moves},

@@ -197,6 +197,8 @@ var resultPackages = []string{
 	"internal/service",
 	"internal/engine",
 	"internal/fault",
+	"internal/store",
+	"internal/cluster",
 }
 
 // inResultPackage reports whether pkgPath is one of the result-affecting

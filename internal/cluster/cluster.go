@@ -1,0 +1,361 @@
+// Package cluster is the multi-node routing layer of lisa-serve: a static
+// peer list, consistent-hash ownership of mapping keys, and a proxy client
+// with deterministic-backoff health gating.
+//
+// The design leans on the same property that makes the result store safe
+// to share: a mapping is a pure function of its canonical cache key, so
+// *where* it is computed does not matter — only that it is computed once.
+// Consistent hashing assigns every key exactly one owner; non-owners proxy
+// to the owner instead of computing, so a fleet of N daemons answers N
+// nodes' worth of traffic with one compute per unique request fleet-wide.
+// Every node is configured with the same peer list (order-insensitive; the
+// ring is built from sorted URLs), so all nodes agree on ownership without
+// any coordination protocol, leader, or membership gossip.
+//
+// Failure handling is availability-first: when the owner of a key is
+// unreachable, the receiving node computes locally instead of failing the
+// request — determinism makes the locally computed bytes identical to what
+// the owner would have served, so the fallback costs duplicate work, never
+// wrong answers. The fallback is labeled in response headers and counted
+// in /metrics (the body stays byte-identical fleet-wide, which is the
+// contract the degradation ladder's body labels would break). A failing
+// peer is put in timed backoff — base×2^(failures−1), capped — so a dead
+// node costs one probe per backoff window, not one timeout per request;
+// the backoff schedule is a pure function of the failure count, keeping
+// recovery behavior reproducible.
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/fault"
+)
+
+// ForwardedHeader marks a proxied request so the owner computes locally
+// instead of re-routing — the loop guard for transiently disagreeing
+// configurations (e.g. a peer restarted with a different -peers list).
+const ForwardedHeader = "X-Lisa-Forwarded"
+
+// ErrPeerDown reports a peer skipped because it is inside its backoff
+// window; the caller falls back to local compute without paying a timeout.
+var ErrPeerDown = errors.New("cluster: peer in backoff")
+
+// Config describes one node's view of the fleet. Every node must be given
+// the same Peers set (any order) for ownership to agree.
+type Config struct {
+	// Self is this node's own URL exactly as it appears in Peers.
+	Self string
+	// Peers lists every node of the fleet, including Self.
+	Peers []string
+	// Replicas is the number of virtual ring points per peer (default 64);
+	// more points smooth the key distribution.
+	Replicas int
+	// RPCTimeout bounds one proxied mapping call (default 150s — above the
+	// service's maximum request deadline, so the peer's own deadline
+	// handling, not the transport, decides slow requests).
+	RPCTimeout time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// BackoffBase and BackoffMax shape the failure backoff
+	// base×2^(failures−1), capped at max (defaults 250ms and 8s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Now is the clock (tests inject a fake; the daemon leaves it nil for
+	// time.Now).
+	Now func() time.Time
+	// Transport overrides the HTTP transport (tests).
+	Transport http.RoundTripper
+}
+
+// point is one virtual ring position.
+type point struct {
+	hash uint64
+	peer int // index into Cluster.peers
+}
+
+// peerHealth tracks one remote peer's failure state. failures==0 means
+// healthy; otherwise the peer is skipped until retryAt, when the next
+// request is allowed through as the probe.
+type peerHealth struct {
+	failures int
+	retryAt  time.Time
+}
+
+// Cluster is one node's routing table plus the health-gated proxy client.
+type Cluster struct {
+	self     string
+	peers    []string // sorted; ring and Status order
+	ring     []point  // sorted by hash
+	client   *http.Client
+	probe    *http.Client
+	now      func() time.Time
+	backoff0 time.Duration
+	backoffM time.Duration
+
+	mu     sync.Mutex
+	health map[string]*peerHealth // remote peers only
+}
+
+// New validates the peer list and builds the ring. It requires Self to be
+// one of Peers, URLs to parse, and no duplicates.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: empty peer list")
+	}
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: -self is required with -peers")
+	}
+	peers := make([]string, 0, len(cfg.Peers))
+	seen := map[string]bool{}
+	selfSeen := false
+	for _, p := range cfg.Peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			continue
+		}
+		u, err := url.Parse(p)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not an absolute URL", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		if p == strings.TrimRight(strings.TrimSpace(cfg.Self), "/") {
+			selfSeen = true
+		}
+		peers = append(peers, p)
+	}
+	if !selfSeen {
+		return nil, fmt.Errorf("cluster: -self %q is not in the peer list %v", cfg.Self, peers)
+	}
+	sort.Strings(peers)
+
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 64
+	}
+	c := &Cluster{
+		self:     strings.TrimRight(strings.TrimSpace(cfg.Self), "/"),
+		peers:    peers,
+		now:      cfg.Now,
+		backoff0: cfg.BackoffBase,
+		backoffM: cfg.BackoffMax,
+		health:   make(map[string]*peerHealth),
+	}
+	if c.now == nil {
+		c.now = func() time.Time {
+			//lisa:nondet-ok backoff gating only: the clock decides when a down peer is re-probed, never what any mapping result contains
+			return time.Now()
+		}
+	}
+	if c.backoff0 <= 0 {
+		c.backoff0 = 250 * time.Millisecond
+	}
+	if c.backoffM <= 0 {
+		c.backoffM = 8 * time.Second
+	}
+	rpcTimeout := cfg.RPCTimeout
+	if rpcTimeout <= 0 {
+		rpcTimeout = 150 * time.Second
+	}
+	probeTimeout := cfg.ProbeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = 2 * time.Second
+	}
+	c.client = &http.Client{Timeout: rpcTimeout, Transport: cfg.Transport}
+	c.probe = &http.Client{Timeout: probeTimeout, Transport: cfg.Transport}
+
+	// Ring points are hashes of "peer|replica" over the *sorted* peer list,
+	// so every node — whatever order its -peers flag came in — derives the
+	// identical ring and agrees on ownership with no coordination.
+	c.ring = make([]point, 0, len(peers)*replicas)
+	for pi, p := range peers {
+		for r := 0; r < replicas; r++ {
+			c.ring = append(c.ring, point{hash: hash64(fmt.Sprintf("%s|%d", p, r)), peer: pi})
+		}
+	}
+	sort.Slice(c.ring, func(i, j int) bool {
+		if c.ring[i].hash != c.ring[j].hash {
+			return c.ring[i].hash < c.ring[j].hash
+		}
+		return c.ring[i].peer < c.ring[j].peer // deterministic tie-break on (astronomically unlikely) hash collisions
+	})
+	return c, nil
+}
+
+// hash64 is FNV-1a — stable across processes and Go versions, unlike
+// maphash.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, s) // hash.Hash writes never fail
+	return h.Sum64()
+}
+
+// Self returns this node's URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns the full sorted peer list (including self).
+func (c *Cluster) Peers() []string { return append([]string(nil), c.peers...) }
+
+// Owner returns the peer URL owning key: the first ring point at or after
+// the key's hash, wrapping around. Pure function of (peer list, key) —
+// every correctly configured node answers identically.
+func (c *Cluster) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(c.ring), func(i int) bool { return c.ring[i].hash >= h })
+	if i == len(c.ring) {
+		i = 0
+	}
+	return c.peers[c.ring[i].peer]
+}
+
+// OwnsSelf reports whether this node owns key.
+func (c *Cluster) OwnsSelf(key string) bool { return c.Owner(key) == c.self }
+
+// Available reports whether peer may be contacted right now: healthy, or
+// its backoff window has expired (the next call doubles as the probe).
+func (c *Cluster) Available(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.health[peer]
+	return h == nil || h.failures == 0 || !c.now().Before(h.retryAt)
+}
+
+// markFailure records a failed contact and arms the next backoff window:
+// base×2^(failures−1), capped. The schedule is a pure function of the
+// failure count — no jitter — so recovery timing reproduces in tests and
+// chaos runs.
+func (c *Cluster) markFailure(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.health[peer]
+	if h == nil {
+		h = &peerHealth{}
+		c.health[peer] = h
+	}
+	h.failures++
+	d := c.backoff0
+	for i := 1; i < h.failures && d < c.backoffM; i++ {
+		d *= 2
+	}
+	if d > c.backoffM {
+		d = c.backoffM
+	}
+	h.retryAt = c.now().Add(d)
+}
+
+// markSuccess clears peer's failure state.
+func (c *Cluster) markSuccess(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.health, peer)
+}
+
+// Response is one proxied HTTP exchange, body fully read.
+type Response struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// Forward proxies body to peer's path (POST, JSON) through the health
+// gate: a peer inside its backoff window returns ErrPeerDown immediately;
+// a transport failure (or an armed peer.rpc fault) marks the peer down and
+// is returned for the caller to fall back on. An HTTP-level error status
+// is a *successful* contact — the peer is alive and said so — and never
+// marks it down. token scopes fault decisions per request.
+func (c *Cluster) Forward(peer, path string, token uint64, body []byte) (*Response, error) {
+	if !c.Available(peer) {
+		return nil, ErrPeerDown
+	}
+	if err := fault.Inject(fault.PeerRPC, token); err != nil {
+		c.markFailure(peer)
+		return nil, fmt.Errorf("cluster: %s: %w", peer, err)
+	}
+	req, err := http.NewRequest(http.MethodPost, peer+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", peer, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.markFailure(peer)
+		return nil, fmt.Errorf("cluster: %s: %w", peer, err)
+	}
+	defer func() { _ = resp.Body.Close() }() // fully read below; close cannot lose data
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.markFailure(peer)
+		return nil, fmt.Errorf("cluster: %s: reading response: %w", peer, err)
+	}
+	c.markSuccess(peer)
+	return &Response{Status: resp.StatusCode, Header: resp.Header, Body: raw}, nil
+}
+
+// Probe contacts peer's liveness endpoint and updates its health state,
+// reporting reachability. Peers inside their backoff window are not
+// contacted (reported down) so a dead node costs one timeout per window.
+func (c *Cluster) Probe(peer string) bool {
+	if peer == c.self {
+		return true
+	}
+	if !c.Available(peer) {
+		return false
+	}
+	if err := fault.Inject(fault.PeerRPC, fault.Token(peer)); err != nil {
+		c.markFailure(peer)
+		return false
+	}
+	resp, err := c.probe.Get(peer + "/healthz")
+	if err != nil {
+		c.markFailure(peer)
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body) // drain so the connection is reusable
+	_ = resp.Body.Close()                 // read-only response; nothing to recover
+	if resp.StatusCode != http.StatusOK {
+		c.markFailure(peer)
+		return false
+	}
+	c.markSuccess(peer)
+	return true
+}
+
+// PeerStatus is one row of Status: the node's current view of a peer.
+type PeerStatus struct {
+	URL      string `json:"url"`
+	Self     bool   `json:"self,omitempty"`
+	Healthy  bool   `json:"healthy"`
+	Failures int    `json:"failures,omitempty"`
+}
+
+// Status snapshots every peer's health, sorted by URL. "Healthy" means
+// contactable right now (self always is; a peer in backoff is not).
+func (c *Cluster) Status() []PeerStatus {
+	out := make([]PeerStatus, 0, len(c.peers))
+	for _, p := range c.peers {
+		st := PeerStatus{URL: p, Self: p == c.self, Healthy: true}
+		if !st.Self {
+			c.mu.Lock()
+			if h := c.health[p]; h != nil && h.failures > 0 {
+				st.Failures = h.failures
+				st.Healthy = !c.now().Before(h.retryAt)
+			}
+			c.mu.Unlock()
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -46,11 +46,15 @@ const (
 	RouterDijkstra Site = "router.dijkstra" // exact-length route search
 	CacheGet       Site = "cache.get"       // result-cache lookup
 	PoolSubmit     Site = "pool.submit"     // worker-pool admission
+	StoreRead      Site = "store.read"      // persistent result-store lookup
+	StoreWrite     Site = "store.write"     // persistent result-store write (fires as a torn write)
+	PeerRPC        Site = "peer.rpc"        // cluster peer proxy call / health probe
 )
 
 // Sites lists every instrumented site in stable order.
 func Sites() []Site {
-	return []Site{RegistryLoad, GNNTrain, MapperAnneal, RouterDijkstra, CacheGet, PoolSubmit}
+	return []Site{RegistryLoad, GNNTrain, MapperAnneal, RouterDijkstra, CacheGet, PoolSubmit,
+		StoreRead, StoreWrite, PeerRPC}
 }
 
 // Mode selects what an armed site does when it fires.
@@ -222,7 +226,7 @@ func (p *Plan) String() string {
 var active atomic.Pointer[Plan]
 
 // injected counts fires per site; slot order matches Sites().
-var injected [6]atomic.Int64
+var injected [9]atomic.Int64
 
 func siteIndex(s Site) int {
 	for i, k := range Sites() {

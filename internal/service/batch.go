@@ -1,0 +1,149 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+
+	"github.com/lisa-go/lisa/internal/cluster"
+	"github.com/lisa-go/lisa/internal/dfg"
+)
+
+// BatchRequest is the POST /v1/map/batch body: up to MaxBatchItems
+// independent mapping requests (any mix of kernels, inline DFGs, archs and
+// engines) answered in one round trip.
+type BatchRequest struct {
+	Items []MapRequest `json:"items"`
+}
+
+// BatchItemResult is one item's outcome, in request order. Status mirrors
+// what POST /v1/map would have answered for the same request; on 200 the
+// Response field holds the exact /v1/map document (compact, without the
+// trailing newline), so batch and single-request bodies stay mutually
+// byte-comparable. Items fail independently: one bad item never spoils the
+// batch.
+type BatchItemResult struct {
+	Status   int             `json:"status"`
+	Error    string          `json:"error,omitempty"`
+	Defect   string          `json:"defect,omitempty"`
+	Response json.RawMessage `json:"response,omitempty"`
+}
+
+// BatchResponse is the POST /v1/map/batch body on success (the batch
+// itself succeeds whenever it parses; per-item failures live in Items).
+type BatchResponse struct {
+	Items  []BatchItemResult `json:"items"`
+	OK     int               `json:"ok"`
+	Failed int               `json:"failed"`
+}
+
+// handleMapBatch fans a batch of mapping requests out over the dedicated
+// batch pool. Each item goes through the exact /v1/map serving stack —
+// per-item cache lookup, store, cluster routing, singleflight, per-item
+// deadline — so a batch is semantically N single requests minus N-1 round
+// trips. Volatile dispositions (cache/cluster state) are deliberately
+// absent from the body: identical batches answer byte-identically.
+func (s *Server) handleMapBatch(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/map/batch"
+	if r.Method != http.MethodPost {
+		s.fail(w, route, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.isDraining() {
+		s.fail(w, route, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.metrics.InflightAdd(1)
+	defer s.metrics.InflightAdd(-1)
+
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, route, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		s.fail(w, route, http.StatusBadRequest, "\"items\" must be non-empty")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		s.fail(w, route, http.StatusBadRequest, "batch of %d items exceeds the limit of %d", len(req.Items), s.cfg.MaxBatchItems)
+		return
+	}
+
+	results := make([]BatchItemResult, len(req.Items))
+	cancel := r.Context().Done()
+	forwarded := r.Header.Get(cluster.ForwardedHeader) != ""
+	var wg sync.WaitGroup
+	for i := range req.Items {
+		// Re-marshal the item: prepare and any proxy hop work from exact
+		// request bytes, and for an item those are its own sub-document.
+		raw, err := json.Marshal(&req.Items[i])
+		if err != nil {
+			results[i] = BatchItemResult{Status: http.StatusBadRequest, Error: err.Error()}
+			continue
+		}
+		job, err := s.prepare(raw)
+		if err != nil {
+			results[i] = BatchItemResult{Status: http.StatusBadRequest, Error: err.Error()}
+			if de, ok := dfg.AsDefect(err); ok {
+				results[i].Defect = string(de.Kind)
+			}
+			continue
+		}
+		i := i
+		run := func() {
+			results[i] = s.batchItem(job, cancel, forwarded)
+		}
+		wg.Add(1)
+		if !s.batchPool.TrySubmit(func() { defer wg.Done(); run() }) {
+			// Fan-out pressure is not admission pressure: run the item on
+			// this goroutine instead. Real backpressure still applies where
+			// it belongs — the mapping pool answers 429 per item.
+			run()
+			wg.Done()
+		}
+	}
+	wg.Wait()
+
+	resp := BatchResponse{Items: results}
+	for _, res := range results {
+		if res.Status == http.StatusOK {
+			resp.OK++
+		} else {
+			resp.Failed++
+		}
+	}
+	s.metrics.Batch(len(results), resp.Failed)
+	s.metrics.Request(route, http.StatusOK)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchItem executes one prepared batch item and folds its outcome into
+// the per-item result shape.
+func (s *Server) batchItem(job *mapJob, cancel <-chan struct{}, forwarded bool) BatchItemResult {
+	out := s.execute(job, cancel, forwarded)
+	switch {
+	case errors.Is(out.err, errCanceled):
+		return BatchItemResult{Status: http.StatusRequestTimeout, Error: "canceled while waiting"}
+	case errors.Is(out.err, errBusy):
+		s.metrics.Rejected()
+		return BatchItemResult{Status: http.StatusTooManyRequests, Error: "mapping queue full, retry later"}
+	case out.err != nil:
+		return BatchItemResult{Status: out.status, Error: out.err.Error()}
+	case out.status == http.StatusOK:
+		// Trim the newline /v1/map appends: inside a JSON array the item is
+		// the compact document itself.
+		return BatchItemResult{Status: http.StatusOK, Response: json.RawMessage(bytes.TrimSuffix(out.body, []byte("\n")))}
+	default:
+		// A relayed non-200 from the owning peer: its body is an errorBody.
+		var eb errorBody
+		if json.Unmarshal(out.body, &eb) == nil && eb.Error != "" {
+			return BatchItemResult{Status: out.status, Error: eb.Error, Defect: eb.Defect}
+		}
+		return BatchItemResult{Status: out.status, Error: string(bytes.TrimSpace(out.body))}
+	}
+}

@@ -5,16 +5,22 @@ import (
 	"sync"
 )
 
-// Cache is the content-addressed result cache: canonical request key →
-// serialized response body, bounded by an LRU entry count. Values are the
-// exact bytes served on the original miss, so a hit is byte-identical to
-// the response the first requester saw — the determinism contract of
-// /v1/map (see hash.go for what the key covers).
+// Cache is the in-memory (L1) content-addressed result cache: canonical
+// request key → serialized response body, LRU-bounded by entry count AND
+// by total body bytes — a handful of large inline-DFG responses must not
+// dominate daemon memory just because the entry count is low. Values are
+// the exact bytes served on the original miss, so a hit is byte-identical
+// to the response the first requester saw — the determinism contract of
+// /v1/map (see hash.go for what the key covers). When a persistent store
+// is configured it sits behind this cache as the L2: L1 evictions lose
+// only latency, never results.
 type Cache struct {
-	mu      sync.Mutex
-	max     int
-	order   *list.List // front = most recently used; values are *cacheEntry
-	entries map[string]*list.Element
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	bytes    int64
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
 }
 
 type cacheEntry struct {
@@ -22,15 +28,22 @@ type cacheEntry struct {
 	body []byte
 }
 
-// NewCache creates a cache bounded to max entries (minimum 1).
-func NewCache(max int) *Cache {
+// NewCache creates a cache bounded to max entries (minimum 1) and, when
+// maxBytes > 0, to maxBytes of total body bytes. The most recent entry is
+// always kept even if it alone exceeds maxBytes: serving one oversized
+// result beats recomputing it per request.
+func NewCache(max int, maxBytes int64) *Cache {
 	if max < 1 {
 		max = 1
 	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
 	return &Cache{
-		max:     max,
-		order:   list.New(),
-		entries: make(map[string]*list.Element),
+		max:      max,
+		maxBytes: maxBytes,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
 	}
 }
 
@@ -47,8 +60,8 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
-// Add stores body under key, evicting the least-recently-used entry when
-// the bound is exceeded. Re-adding an existing key refreshes its recency
+// Add stores body under key, evicting least-recently-used entries while
+// either bound is exceeded. Re-adding an existing key refreshes its recency
 // but keeps the original body: results are content-addressed, so the first
 // bytes stored for a key are the bytes every later hit must see.
 func (c *Cache) Add(key string, body []byte) {
@@ -59,10 +72,13 @@ func (c *Cache) Add(key string, body []byte) {
 		return
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
-	for c.order.Len() > c.max {
+	c.bytes += int64(len(body))
+	for c.order.Len() > 1 && (c.order.Len() > c.max || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		last := c.order.Back()
 		c.order.Remove(last)
-		delete(c.entries, last.Value.(*cacheEntry).key)
+		e := last.Value.(*cacheEntry)
+		c.bytes -= int64(len(e.body))
+		delete(c.entries, e.key)
 	}
 }
 
@@ -73,11 +89,33 @@ func (c *Cache) Len() int {
 	return c.order.Len()
 }
 
+// Bytes reports the total body bytes currently held.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// flightResult is what one singleflight execution produced: the response
+// bytes (or error), plus the dispositions the serving layer needs — via
+// records how a clustered request was satisfied ("" local, "proxied",
+// "fallback-local"), and noStore marks bodies that must not enter any
+// cache tier (degraded or deadline-curtailed runs).
+type flightResult struct {
+	body    []byte
+	status  int
+	err     error
+	via     string
+	noStore bool
+}
+
 // flightGroup deduplicates concurrent identical requests (singleflight):
 // the first caller for a key becomes the leader and computes; followers
 // that arrive before the leader finishes block and receive the leader's
 // exact bytes. Entries are removed on completion, so later requests go
-// through the cache instead.
+// through the cache instead. In cluster mode the leader may be proxying to
+// the owning peer rather than computing — the dedup holds across the hop,
+// so N concurrent identical requests on a non-owner node cost one RPC.
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
@@ -85,9 +123,7 @@ type flightGroup struct {
 
 type flightCall struct {
 	done    chan struct{}
-	body    []byte
-	status  int
-	err     error
+	res     flightResult
 	waiters int // followers currently blocked on done (under flightGroup.mu)
 }
 
@@ -100,28 +136,28 @@ func newFlightGroup() *flightGroup {
 // cancel, when non-nil, lets a follower stop waiting early (e.g. its client
 // hung up); the leader always runs fn to completion so the result can be
 // cached for everyone else.
-func (g *flightGroup) do(key string, cancel <-chan struct{}, fn func() ([]byte, int, error)) (body []byte, status int, err error, shared bool) {
+func (g *flightGroup) do(key string, cancel <-chan struct{}, fn func() flightResult) (res flightResult, shared bool) {
 	g.mu.Lock()
 	if call, ok := g.calls[key]; ok {
 		call.waiters++
 		g.mu.Unlock()
 		select {
 		case <-call.done:
-			return call.body, call.status, call.err, true
+			return call.res, true
 		case <-cancel:
-			return nil, 0, errCanceled, true
+			return flightResult{err: errCanceled}, true
 		}
 	}
 	call := &flightCall{done: make(chan struct{})}
 	g.calls[key] = call
 	g.mu.Unlock()
 
-	call.body, call.status, call.err = fn()
+	call.res = fn()
 	g.mu.Lock()
 	delete(g.calls, key)
 	g.mu.Unlock()
 	close(call.done)
-	return call.body, call.status, call.err, false
+	return call.res, false
 }
 
 // waiting reports how many followers are blocked on key's in-flight call

@@ -15,7 +15,7 @@ import (
 )
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := NewCache(2)
+	c := NewCache(2, 0)
 	c.Add("a", []byte("A"))
 	c.Add("b", []byte("B"))
 	if _, ok := c.Get("a"); !ok { // refresh a; b is now LRU
@@ -37,7 +37,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheFirstBytesWin(t *testing.T) {
-	c := NewCache(4)
+	c := NewCache(4, 0)
 	c.Add("k", []byte("original"))
 	c.Add("k", []byte("imposter"))
 	got, _ := c.Get("k")
@@ -58,30 +58,30 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		body, _, _, shared := g.do("k", nil, func() ([]byte, int, error) {
+		res, shared := g.do("k", nil, func() flightResult {
 			close(started)
 			runs.Add(1)
 			<-release
-			return []byte("payload"), 200, nil
+			return flightResult{body: []byte("payload"), status: 200}
 		})
 		if shared {
 			t.Error("leader reported shared")
 		}
-		results[followers] = body
+		results[followers] = res.body
 	}()
 	<-started
 	for i := 0; i < followers; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			body, _, err, shared := g.do("k", nil, func() ([]byte, int, error) {
+			res, shared := g.do("k", nil, func() flightResult {
 				runs.Add(1)
-				return []byte("wrong"), 200, nil
+				return flightResult{body: []byte("wrong"), status: 200}
 			})
-			if err != nil || !shared {
-				t.Errorf("follower %d: err=%v shared=%v", i, err, shared)
+			if res.err != nil || !shared {
+				t.Errorf("follower %d: err=%v shared=%v", i, res.err, shared)
 			}
-			results[i] = body
+			results[i] = res.body
 		}(i)
 	}
 	// Release the leader only after every follower has joined the in-flight
@@ -102,7 +102,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		}
 	}
 	// The entry must be gone so the next request goes through the cache.
-	_, _, _, shared := g.do("k", nil, func() ([]byte, int, error) { return nil, 200, nil })
+	_, shared := g.do("k", nil, func() flightResult { return flightResult{status: 200} })
 	if shared {
 		t.Fatal("completed flight entry not removed")
 	}
@@ -112,17 +112,17 @@ func TestFlightGroupFollowerCancel(t *testing.T) {
 	g := newFlightGroup()
 	release := make(chan struct{})
 	started := make(chan struct{})
-	go g.do("k", nil, func() ([]byte, int, error) {
+	go g.do("k", nil, func() flightResult {
 		close(started)
 		<-release
-		return nil, 200, nil
+		return flightResult{status: 200}
 	})
 	<-started
 	cancel := make(chan struct{})
 	close(cancel)
-	_, _, err, _ := g.do("k", cancel, func() ([]byte, int, error) { return nil, 200, nil })
-	if err != errCanceled {
-		t.Fatalf("canceled follower got err=%v, want errCanceled", err)
+	res, _ := g.do("k", cancel, func() flightResult { return flightResult{status: 200} })
+	if res.err != errCanceled {
+		t.Fatalf("canceled follower got err=%v, want errCanceled", res.err)
 	}
 	close(release)
 }

@@ -27,6 +27,21 @@ type Metrics struct {
 	coalesced int64            // followers served by a singleflight leader
 	panics    int64            // recovered panics (handlers and pool tasks)
 	engines   map[string]*engineStats
+
+	// Persistent store (L2) counters; all zero when no store is configured.
+	storeHits      int64 // L1 miss answered from disk
+	storeMisses    int64 // key absent from both tiers (mapper ran)
+	storeReadErrs  int64 // read failures treated as misses (incl. corrupt entries)
+	storeWriteErrs int64 // write failures (result still served, just not persisted)
+
+	// Cluster counters; all zero when single-node.
+	proxied   int64 // requests answered by forwarding to the owning peer
+	fallbacks int64 // owner unreachable/overloaded → computed locally anyway
+
+	// Batch endpoint counters.
+	batchRequests int64
+	batchItems    int64
+	batchFailed   int64 // items that did not produce a 200 result
 }
 
 type engineStats struct {
@@ -77,6 +92,31 @@ func (m *Metrics) CacheHit() { m.mu.Lock(); m.hits++; m.mu.Unlock() }
 func (m *Metrics) CacheMiss() { m.mu.Lock(); m.misses++; m.mu.Unlock() }
 
 func (m *Metrics) Coalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+
+// StoreHit / StoreMiss / StoreReadError / StoreWriteError classify how the
+// persistent store (L2) participated in a request that missed L1.
+func (m *Metrics) StoreHit() { m.mu.Lock(); m.storeHits++; m.mu.Unlock() }
+
+func (m *Metrics) StoreMiss() { m.mu.Lock(); m.storeMisses++; m.mu.Unlock() }
+
+func (m *Metrics) StoreReadError() { m.mu.Lock(); m.storeReadErrs++; m.mu.Unlock() }
+
+func (m *Metrics) StoreWriteError() { m.mu.Lock(); m.storeWriteErrs++; m.mu.Unlock() }
+
+// Proxied counts one request answered by the key's owning peer; Fallback
+// counts one request computed locally because the owner could not serve it.
+func (m *Metrics) Proxied() { m.mu.Lock(); m.proxied++; m.mu.Unlock() }
+
+func (m *Metrics) Fallback() { m.mu.Lock(); m.fallbacks++; m.mu.Unlock() }
+
+// Batch records one /v1/map/batch request with its item and failure counts.
+func (m *Metrics) Batch(items, failed int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchRequests++
+	m.batchItems += int64(items)
+	m.batchFailed += int64(failed)
+}
 
 // Panic counts one recovered panic (a handler or a pool task).
 func (m *Metrics) Panic() {
@@ -136,17 +176,60 @@ type (
 		Panics        int64                     `json:"panics"`
 		Cache         CacheSnapshot             `json:"cache"`
 		Engines       map[string]EngineSnapshot `json:"engines"`
+		// Store and Cluster are present only when the daemon runs with a
+		// persistent store / a peer list (the /metrics handler fills them in:
+		// counters from Metrics, census gauges from the subsystems).
+		Store   *StoreSnapshot   `json:"store,omitempty"`
+		Cluster *ClusterSnapshot `json:"cluster,omitempty"`
+		// Batch is present once /v1/map/batch has been used.
+		Batch *BatchSnapshot `json:"batch,omitempty"`
 		// Faults reports per-site injection counts; present only while a
 		// fault plan is armed (the /metrics handler fills it in).
 		Faults map[fault.Site]int64 `json:"faults,omitempty"`
 	}
-	// CacheSnapshot reports hit/miss/coalesced counts and the hit ratio.
+	// CacheSnapshot reports hit/miss/coalesced counts, the hit ratio, and
+	// the L1 gauges (entry count and total body bytes).
 	CacheSnapshot struct {
 		Hits      int64   `json:"hits"`
 		Misses    int64   `json:"misses"`
 		Coalesced int64   `json:"coalesced"`
 		HitRatio  float64 `json:"hitRatio"`
 		Entries   int     `json:"entries"`
+		Bytes     int64   `json:"bytes"`
+	}
+	// StoreSnapshot reports the persistent (L2) result store: request
+	// counters plus the on-disk census.
+	StoreSnapshot struct {
+		Hits        int64  `json:"hits"`
+		Misses      int64  `json:"misses"`
+		ReadErrors  int64  `json:"readErrors"`
+		WriteErrors int64  `json:"writeErrors"`
+		Entries     int    `json:"entries"`
+		Bytes       int64  `json:"bytes"`
+		Dropped     int    `json:"dropped"`
+		Generation  uint64 `json:"generation"`
+	}
+	// ClusterSnapshot reports multi-node routing: how many requests were
+	// proxied to their owning peer, how many fell back to local compute, and
+	// per-peer health.
+	ClusterSnapshot struct {
+		Self      string         `json:"self"`
+		Proxied   int64          `json:"proxied"`
+		Fallbacks int64          `json:"fallbacks"`
+		Peers     []PeerSnapshot `json:"peers"`
+	}
+	// PeerSnapshot is one peer's health row.
+	PeerSnapshot struct {
+		URL      string `json:"url"`
+		Self     bool   `json:"self,omitempty"`
+		Healthy  bool   `json:"healthy"`
+		Failures int    `json:"failures,omitempty"`
+	}
+	// BatchSnapshot reports /v1/map/batch usage.
+	BatchSnapshot struct {
+		Requests    int64 `json:"requests"`
+		Items       int64 `json:"items"`
+		FailedItems int64 `json:"failedItems"`
 	}
 	// EngineSnapshot reports one engine's invocation stats and latency
 	// histogram.
@@ -165,9 +248,12 @@ type (
 	}
 )
 
-// Snapshot captures the current counters. cacheEntries is supplied by the
-// caller (the cache owns its size); now supplies the uptime reference.
-func (m *Metrics) Snapshot(now time.Time, cacheEntries int) MetricsSnapshot {
+// Snapshot captures the current counters. cacheEntries and cacheBytes are
+// supplied by the caller (the cache owns its gauges); now supplies the
+// uptime reference. Store and Cluster blocks are left nil — the /metrics
+// handler attaches them when those subsystems are configured (see
+// storeSnapshot / clusterCounters).
+func (m *Metrics) Snapshot(now time.Time, cacheEntries int, cacheBytes int64) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := MetricsSnapshot{
@@ -182,8 +268,12 @@ func (m *Metrics) Snapshot(now time.Time, cacheEntries int) MetricsSnapshot {
 			Misses:    m.misses,
 			Coalesced: m.coalesced,
 			Entries:   cacheEntries,
+			Bytes:     cacheBytes,
 		},
 		Engines: make(map[string]EngineSnapshot, len(m.engines)),
+	}
+	if m.batchRequests > 0 {
+		s.Batch = &BatchSnapshot{Requests: m.batchRequests, Items: m.batchItems, FailedItems: m.batchFailed}
 	}
 	if total := m.hits + m.misses + m.coalesced; total > 0 {
 		// Coalesced followers count as hits: the mapper did not run for them.
@@ -218,6 +308,26 @@ func (m *Metrics) Snapshot(now time.Time, cacheEntries int) MetricsSnapshot {
 		s.Engines[name] = es
 	}
 	return s
+}
+
+// storeSnapshot returns the L2 counter half of a StoreSnapshot; the
+// /metrics handler adds the on-disk census gauges.
+func (m *Metrics) storeSnapshot() StoreSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return StoreSnapshot{
+		Hits:        m.storeHits,
+		Misses:      m.storeMisses,
+		ReadErrors:  m.storeReadErrs,
+		WriteErrors: m.storeWriteErrs,
+	}
+}
+
+// clusterCounters returns the routing counters for a ClusterSnapshot.
+func (m *Metrics) clusterCounters() (proxied, fallbacks int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.proxied, m.fallbacks
 }
 
 // statusKey renders an HTTP status as a JSON map key.

@@ -297,7 +297,7 @@ func TestHandlerPanicIsA500NotACrash(t *testing.T) {
 	if recovered != "boom" {
 		t.Fatalf("OnPanic saw %v, want boom", recovered)
 	}
-	snap := s.Metrics().Snapshot(s.metrics.start, 0)
+	snap := s.Metrics().Snapshot(s.metrics.start, 0, 0)
 	if snap.Panics != 1 {
 		t.Fatalf("panics counter = %d, want 1", snap.Panics)
 	}

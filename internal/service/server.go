@@ -4,16 +4,25 @@
 // long-lived server: models are loaded (or trained) once per architecture
 // and every mapping request is a low-latency inference + annealing run.
 //
-// The server composes four pieces:
+// The server composes six pieces:
 //
 //   - a model registry (internal/registry) resolving one GNN model per
 //     architecture behind a per-architecture once;
-//   - a content-addressed result cache (cache.go): SHA-256 of the
-//     normalized request → the exact response bytes, LRU-bounded, with
-//     singleflight deduplication so N concurrent identical requests run
-//     the annealer once;
+//   - a two-tier content-addressed result cache: SHA-256 of the
+//     normalized request → the exact response bytes. L1 is in-memory
+//     (cache.go), LRU-bounded by entries and bytes, with singleflight
+//     deduplication so N concurrent identical requests run the annealer
+//     once; L2 (optional) is the crash-tolerant persistent store in
+//     internal/store, so results outlive both L1 eviction and restarts;
 //   - an admission-controlled worker pool (internal/parallel.Pool): a
 //     bounded queue that turns overload into HTTP 429 instead of latency;
+//   - optional multi-node routing (internal/cluster): each cache key has
+//     one owning peer on a consistent-hash ring, non-owners proxy to it
+//     (singleflight held across the hop), and an unreachable owner
+//     degrades to local compute — so a fleet computes each distinct
+//     mapping once but never refuses work because a peer died;
+//   - a batch endpoint (batch.go): many DFG×arch items per request,
+//     fanned out over a dedicated pool with per-item outcomes;
 //   - request metrics (metrics.go) served as JSON on /metrics.
 //
 // Because mapping results are pure functions of (DFG, arch, engine,
@@ -35,6 +44,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"path/filepath"
 	"runtime/debug"
@@ -43,6 +53,7 @@ import (
 	"time"
 
 	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/cluster"
 	"github.com/lisa-go/lisa/internal/dfg"
 	"github.com/lisa-go/lisa/internal/engine"
 	"github.com/lisa-go/lisa/internal/fault"
@@ -51,6 +62,16 @@ import (
 	"github.com/lisa-go/lisa/internal/mapper"
 	"github.com/lisa-go/lisa/internal/parallel"
 	"github.com/lisa-go/lisa/internal/registry"
+	"github.com/lisa-go/lisa/internal/store"
+)
+
+// Response headers. Routing and cache dispositions live in headers, never
+// in bodies: the body of a 200 is byte-identical fleet-wide for a given
+// request, no matter which node answered or how.
+const (
+	cacheHeader   = "X-Lisa-Cache"    // hit | store | miss | coalesced
+	clusterHeader = "X-Lisa-Cluster"  // local | proxied | fallback-local
+	noStoreHeader = "X-Lisa-No-Store" // "1": degraded/deadline result; no tier may cache it
 )
 
 var (
@@ -66,8 +87,22 @@ type Config struct {
 	// queue turns into HTTP 429. Zero means the default; negative means no
 	// queue at all (a request is refused unless a worker is free).
 	QueueDepth int
-	// CacheEntries bounds the result cache (LRU).
+	// CacheEntries bounds the in-memory (L1) result cache by entry count;
+	// CacheBytes bounds it by total body bytes (0: the default; negative:
+	// no byte bound).
 	CacheEntries int
+	CacheBytes   int64
+	// Store, when set, is the persistent (L2) result store: L1 misses are
+	// looked up there before computing, and every cacheable result is
+	// written through, so results survive restarts and L1 eviction.
+	Store *store.Store
+	// Cluster, when set, routes each cache key to its owning peer on a
+	// consistent-hash ring; this node proxies keys it does not own and
+	// falls back to local compute when the owner cannot serve.
+	Cluster *cluster.Cluster
+	// MaxBatchItems caps the items of one /v1/map/batch request (0: the
+	// default).
+	MaxBatchItems int
 	// DefaultDeadline applies when a request names none; MaxDeadline caps
 	// what a request may ask for. Deadlines feed mapper.Options.TimeLimit.
 	DefaultDeadline time.Duration
@@ -100,6 +135,8 @@ func DefaultConfig() Config {
 	return Config{
 		QueueDepth:      64,
 		CacheEntries:    4096,
+		CacheBytes:      256 << 20,
+		MaxBatchItems:   64,
 		DefaultDeadline: 30 * time.Second,
 		MaxDeadline:     2 * time.Minute,
 		MaxBodyBytes:    4 << 20,
@@ -120,6 +157,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = d.CacheEntries
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = d.CacheBytes
+	} else if c.CacheBytes < 0 {
+		c.CacheBytes = 0 // NewCache treats 0 as unbounded
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = d.MaxBatchItems
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = d.DefaultDeadline
@@ -164,6 +209,12 @@ type Server struct {
 	pool    *parallel.Pool
 	metrics *Metrics
 
+	// batchPool fans /v1/map/batch items out. It must be distinct from
+	// pool: batch items submit mapping tasks into pool, and fanning out on
+	// the same pool would let a burst of batches occupy every worker with
+	// items that are themselves waiting for a worker — a deadlock.
+	batchPool *parallel.Pool
+
 	mu       sync.Mutex
 	draining bool
 }
@@ -173,17 +224,19 @@ type Server struct {
 func New(cfg Config, reg *registry.Registry) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		cache:   NewCache(cfg.CacheEntries),
-		flight:  newFlightGroup(),
-		pool:    parallel.NewPool(cfg.Workers, cfg.QueueDepth),
-		metrics: NewMetrics(time.Now()),
+		cfg:       cfg,
+		reg:       reg,
+		cache:     NewCache(cfg.CacheEntries, cfg.CacheBytes),
+		flight:    newFlightGroup(),
+		pool:      parallel.NewPool(cfg.Workers, cfg.QueueDepth),
+		batchPool: parallel.NewPool(cfg.Workers, cfg.QueueDepth),
+		metrics:   NewMetrics(time.Now()),
 	}
 	// Last-resort fence: a task that panics past its own recovery must not
 	// kill the worker. (Mapping tasks also recover for themselves so their
 	// singleflight leader is never left waiting.)
 	s.pool.OnPanic(s.panicked)
+	s.batchPool.OnPanic(s.panicked)
 	return s
 }
 
@@ -209,6 +262,7 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.batchPool.Close()
 	s.pool.Close()
 }
 
@@ -224,11 +278,13 @@ func (s *Server) isDraining() bool {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/map", s.handleMap)
+	mux.HandleFunc("/v1/map/batch", s.handleMapBatch)
 	mux.HandleFunc("/v1/labels", s.handleLabels)
 	mux.HandleFunc("/v1/archs", s.handleArchs)
 	mux.HandleFunc("/v1/kernels", s.handleKernels)
 	mux.HandleFunc("/v1/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.recoverPanics(mux)
 }
@@ -329,6 +385,185 @@ func (s *Server) failErr(w http.ResponseWriter, route string, status int, err er
 	writeJSON(w, status, body)
 }
 
+// mapJob is one fully validated mapping request: everything execute needs,
+// plus the exact request bytes so a proxy hop replays the request verbatim.
+type mapJob struct {
+	req     MapRequest
+	raw     []byte
+	ar      arch.Arch
+	eng     engine.Name
+	g       *dfg.Graph
+	mapOpts mapper.Options
+	key     string
+}
+
+// mapOutcome is how one mapping request was answered: the flight result
+// (body/status/error plus routing dispositions) and the cache disposition
+// for the X-Lisa-Cache header.
+type mapOutcome struct {
+	flightResult
+	cacheState string // hit | store | miss | coalesced; "" on errors
+}
+
+// prepare validates raw as a MapRequest and resolves everything derived
+// from it — architecture, engine, graph, normalized options, cache key.
+// Every error is a client error (HTTP 400).
+func (s *Server) prepare(raw []byte) (*mapJob, error) {
+	job := &mapJob{raw: raw}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job.req); err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+
+	ar, ok := arch.ByName(job.req.Arch)
+	if !ok {
+		return nil, fmt.Errorf("unknown arch %q (have %v)", job.req.Arch, arch.Names())
+	}
+	job.ar = ar
+	job.eng = engine.Name("lisa")
+	if job.req.Engine != "" {
+		var err error
+		job.eng, err = engine.Parse(job.req.Engine)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	job.g, err = s.requestGraph(&job.req)
+	if err != nil {
+		return nil, err
+	}
+
+	seed := int64(1)
+	if job.req.Seed != nil {
+		seed = *job.req.Seed
+	}
+	deadline := s.cfg.DefaultDeadline
+	if job.req.DeadlineMs > 0 {
+		deadline = time.Duration(job.req.DeadlineMs) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	job.mapOpts = s.cfg.MapOpts
+	job.mapOpts.Seed = seed
+	if job.req.MaxMoves > 0 {
+		job.mapOpts.MaxMoves = job.req.MaxMoves
+	}
+	job.mapOpts.TimeLimit = deadline
+
+	job.key = cacheKey(job.g, ar.Name(), job.eng, job.mapOpts, deadline.Milliseconds())
+	return job, nil
+}
+
+// execute answers one prepared job through the full serving stack: L1
+// cache, persistent store, cluster routing (unless the request already
+// arrived forwarded), singleflight, worker pool. cancel aborts a follower's
+// wait; the leader always completes.
+func (s *Server) execute(job *mapJob, cancel <-chan struct{}, forwarded bool) mapOutcome {
+	key := job.key
+	if err := fault.Inject(fault.CacheGet, fault.Token(key)); err != nil {
+		// An injected lookup failure is a forced miss: the request falls
+		// through to a fresh (deduplicated) mapping run, trading latency
+		// for availability exactly like a real cache outage would. The
+		// injection itself is visible in /metrics under faults.
+	} else if body, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHit()
+		return mapOutcome{flightResult: flightResult{body: body, status: http.StatusOK}, cacheState: "hit"}
+	} else if st := s.cfg.Store; st != nil {
+		body, err := st.Get(key)
+		switch {
+		case err == nil:
+			s.metrics.StoreHit()
+			s.cache.Add(key, body) // promote to L1; next hit skips the disk
+			return mapOutcome{flightResult: flightResult{body: body, status: http.StatusOK}, cacheState: "store"}
+		case errors.Is(err, store.ErrNotFound):
+			s.metrics.StoreMiss()
+		default:
+			// Read failures (injected, torn, bit-rot) are forced misses: the
+			// store self-heals corrupt entries and the fresh compute rewrites
+			// them. Availability over persistence, never the reverse.
+			s.metrics.StoreReadError()
+		}
+	}
+
+	// Cluster routing: keys this node does not own are proxied to their
+	// owner so the fleet computes each distinct mapping exactly once. A
+	// forwarded request is never re-forwarded (the owner may disagree about
+	// ownership mid-reconfiguration; one hop bounds the disagreement).
+	owner := ""
+	if cl := s.cfg.Cluster; cl != nil && !forwarded {
+		if o := cl.Owner(key); o != cl.Self() {
+			owner = o
+		}
+	}
+	fn := func() flightResult { return s.runMapping(job) }
+	if owner != "" {
+		fn = func() flightResult { return s.proxyToOwner(job, owner) }
+	}
+	res, shared := s.flight.do(key, cancel, fn)
+	out := mapOutcome{flightResult: res}
+	if res.err == nil {
+		if shared {
+			s.metrics.Coalesced()
+			out.cacheState = "coalesced"
+		} else {
+			s.metrics.CacheMiss()
+			out.cacheState = "miss"
+		}
+	}
+	return out
+}
+
+// proxyToOwner is the singleflight leader body on a non-owner node: replay
+// the request bytes against the key's owner and relay its answer. If the
+// owner cannot serve — down, draining, overloaded, or an injected peer.rpc
+// fault — the request degrades to local compute instead of failing: the
+// serving twin of the engine degradation ladder. The fallback produces the
+// same deterministic bytes the owner would have (only the X-Lisa-Cluster
+// header and the fallbacks counter betray the detour).
+func (s *Server) proxyToOwner(job *mapJob, owner string) flightResult {
+	resp, err := s.cfg.Cluster.Forward(owner, "/v1/map", fault.Token(job.key), job.raw)
+	if err == nil {
+		switch {
+		case resp.Status == http.StatusOK:
+			s.metrics.Proxied()
+			noStore := resp.Header.Get(noStoreHeader) != ""
+			if !noStore {
+				// Adopt the owner's result into both local tiers: the next
+				// request for this key is served here without a hop.
+				s.cacheBody(job.key, resp.Body)
+			}
+			return flightResult{body: resp.Body, status: http.StatusOK, via: "proxied", noStore: noStore}
+		case resp.Status < http.StatusInternalServerError &&
+			resp.Status != http.StatusTooManyRequests &&
+			resp.Status != http.StatusServiceUnavailable:
+			// A deterministic 4xx: recomputing locally would refuse the
+			// request identically, so relay the owner's verdict.
+			s.metrics.Proxied()
+			return flightResult{body: resp.Body, status: resp.Status, via: "proxied", noStore: true}
+		}
+		// 429 / 503 / 5xx: the owner is alive but cannot serve this now.
+	}
+	s.metrics.Fallback()
+	res := s.runMapping(job)
+	res.via = "fallback-local"
+	return res
+}
+
+// cacheBody writes one cacheable response body through both cache tiers. A
+// store write failure costs persistence, not the request: the result is
+// already in L1 and on its way to the client.
+func (s *Server) cacheBody(key string, body []byte) {
+	s.cache.Add(key, body)
+	if st := s.cfg.Store; st != nil {
+		if err := st.Put(key, body); err != nil {
+			s.metrics.StoreWriteError()
+		}
+	}
+}
+
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	const route = "/v1/map"
 	if r.Method != http.MethodPost {
@@ -342,104 +577,61 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	s.metrics.InflightAdd(1)
 	defer s.metrics.InflightAdd(-1)
 
-	var req MapRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
 		s.fail(w, route, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-
-	ar, ok := arch.ByName(req.Arch)
-	if !ok {
-		s.fail(w, route, http.StatusBadRequest, "unknown arch %q (have %v)", req.Arch, arch.Names())
-		return
-	}
-	eng := engine.Name("lisa")
-	if req.Engine != "" {
-		var err error
-		eng, err = engine.Parse(req.Engine)
-		if err != nil {
-			s.fail(w, route, http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
-	g, err := s.requestGraph(&req)
+	job, err := s.prepare(raw)
 	if err != nil {
 		s.failErr(w, route, http.StatusBadRequest, err)
 		return
 	}
 
-	seed := int64(1)
-	if req.Seed != nil {
-		seed = *req.Seed
-	}
-	deadline := s.cfg.DefaultDeadline
-	if req.DeadlineMs > 0 {
-		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
-	}
-	if deadline > s.cfg.MaxDeadline {
-		deadline = s.cfg.MaxDeadline
-	}
-	mapOpts := s.cfg.MapOpts
-	mapOpts.Seed = seed
-	if req.MaxMoves > 0 {
-		mapOpts.MaxMoves = req.MaxMoves
-	}
-	mapOpts.TimeLimit = deadline
-
-	key := cacheKey(g, ar.Name(), eng, mapOpts, deadline.Milliseconds())
-	if err := fault.Inject(fault.CacheGet, fault.Token(key)); err != nil {
-		// An injected lookup failure is a forced miss: the request falls
-		// through to a fresh (deduplicated) mapping run, trading latency
-		// for availability exactly like a real cache outage would. The
-		// injection itself is visible in /metrics under faults.
-	} else if body, ok := s.cache.Get(key); ok {
-		s.metrics.CacheHit()
-		s.metrics.Request(route, http.StatusOK)
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Lisa-Cache", "hit")
-		_, _ = w.Write(body) // client disconnect; the cached entry is intact
-		return
-	}
-
-	body, status, err, shared := s.flight.do(key, r.Context().Done(), func() ([]byte, int, error) {
-		return s.runMapping(key, &req, ar, g, eng, mapOpts)
-	})
+	out := s.execute(job, r.Context().Done(), r.Header.Get(cluster.ForwardedHeader) != "")
 	switch {
-	case errors.Is(err, errCanceled):
+	case errors.Is(out.err, errCanceled):
 		// Client hung up while waiting on another request's run; nothing
 		// useful to write.
 		s.metrics.Request(route, http.StatusRequestTimeout)
 		return
-	case errors.Is(err, errBusy):
+	case errors.Is(out.err, errBusy):
 		s.metrics.Rejected()
 		s.fail(w, route, http.StatusTooManyRequests, "mapping queue full, retry later")
 		return
-	case err != nil:
-		s.fail(w, route, status, "%v", err)
+	case out.err != nil:
+		s.fail(w, route, out.status, "%v", out.err)
 		return
 	}
-	if shared {
-		s.metrics.Coalesced()
-	} else {
-		s.metrics.CacheMiss()
-	}
-	s.metrics.Request(route, http.StatusOK)
+	s.metrics.Request(route, out.status)
 	w.Header().Set("Content-Type", "application/json")
-	if shared {
-		w.Header().Set("X-Lisa-Cache", "coalesced")
-	} else {
-		w.Header().Set("X-Lisa-Cache", "miss")
+	if out.cacheState != "" {
+		w.Header().Set(cacheHeader, out.cacheState)
 	}
-	_, _ = w.Write(body) // client disconnect; the result is already cached
+	if s.cfg.Cluster != nil {
+		via := out.via
+		if via == "" {
+			via = "local"
+		}
+		w.Header().Set(clusterHeader, via)
+	}
+	if out.noStore && out.status == http.StatusOK {
+		// Tells a forwarding peer (and any cache in between) that this body
+		// is a degraded/deadline-curtailed result no tier may retain.
+		w.Header().Set(noStoreHeader, "1")
+	}
+	if out.status != http.StatusOK {
+		w.WriteHeader(out.status)
+	}
+	_, _ = w.Write(out.body) // client disconnect; any cacheable result is already cached
 }
 
 // runMapping is the singleflight leader body: admit into the worker pool,
 // run the engine behind the degradation ladder, serialize, cache. It always
 // runs to completion once admitted so followers and the cache see the
 // result even if the leading client disconnects.
-func (s *Server) runMapping(key string, req *MapRequest, ar arch.Arch, g *dfg.Graph, eng engine.Name, mapOpts mapper.Options) ([]byte, int, error) {
+func (s *Server) runMapping(job *mapJob) flightResult {
+	key, ar, g, eng, mapOpts := job.key, job.ar, job.g, job.eng, job.mapOpts
 	ilpOpts := s.cfg.ILPOpts
 	if eng == engine.ILP && mapOpts.TimeLimit > 0 && (ilpOpts.TimeLimitPerII <= 0 || ilpOpts.TimeLimitPerII > mapOpts.TimeLimit) {
 		ilpOpts.TimeLimitPerII = mapOpts.TimeLimit
@@ -448,7 +640,7 @@ func (s *Server) runMapping(key string, req *MapRequest, ar arch.Arch, g *dfg.Gr
 	if err := fault.Inject(fault.PoolSubmit, fault.Token(key)); err != nil {
 		// An injected admission failure is backpressure, same as a full
 		// queue: the client sees 429 and retries.
-		return nil, http.StatusTooManyRequests, errBusy
+		return flightResult{status: http.StatusTooManyRequests, err: errBusy}
 	}
 
 	type outcome struct {
@@ -479,16 +671,16 @@ func (s *Server) runMapping(key string, req *MapRequest, ar arch.Arch, g *dfg.Gr
 		done <- outcome{rr, err}
 	})
 	if !admitted {
-		return nil, http.StatusTooManyRequests, errBusy
+		return flightResult{status: http.StatusTooManyRequests, err: errBusy}
 	}
 	out := <-done
 	if out.err != nil {
-		return nil, http.StatusInternalServerError, out.err
+		return flightResult{status: http.StatusInternalServerError, err: out.err}
 	}
 	res := out.rr.Result
 	if res.OK {
 		if err := mapper.Verify(ar, g, &res); err != nil {
-			return nil, http.StatusInternalServerError, fmt.Errorf("mapping failed verification: %w", err)
+			return flightResult{status: http.StatusInternalServerError, err: fmt.Errorf("mapping failed verification: %w", err)}
 		}
 	}
 	// Wall-clock duration is the one nondeterministic Result field; zero it
@@ -501,7 +693,7 @@ func (s *Server) runMapping(key string, req *MapRequest, ar arch.Arch, g *dfg.Gr
 		Arch:   ar.Name(),
 		Engine: string(eng),
 		Seed:   mapOpts.Seed,
-		Kernel: req.Kernel,
+		Kernel: job.req.Kernel,
 		Nodes:  g.NumNodes(),
 		Edges:  g.NumEdges(),
 		Result: res,
@@ -509,25 +701,27 @@ func (s *Server) runMapping(key string, req *MapRequest, ar arch.Arch, g *dfg.Gr
 	if out.rr.Engine != eng {
 		resp.EngineUsed = string(out.rr.Engine)
 	}
-	if req.Stats && res.OK {
+	if job.req.Stats && res.OK {
 		u, err := mapper.Utilize(ar, g, &res)
 		if err != nil {
-			return nil, http.StatusInternalServerError, err
+			return flightResult{status: http.StatusInternalServerError, err: err}
 		}
 		resp.Utilization = &u
 	}
 	body, err := json.Marshal(&resp)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		return flightResult{status: http.StatusInternalServerError, err: err}
 	}
 	body = append(body, '\n')
-	// Degraded and deadline-curtailed results are served but never cached:
-	// the cache must only ever hold first-choice deterministic outcomes,
-	// or a transient fault's fallback would outlive the fault itself.
+	// Degraded and deadline-curtailed results are served but never cached —
+	// in either tier: the caches must only ever hold first-choice
+	// deterministic outcomes, or a transient fault's fallback would outlive
+	// the fault itself.
 	if len(res.Degraded) == 0 && !res.DeadlineExceeded {
-		s.cache.Add(key, body)
+		s.cacheBody(key, body)
+		return flightResult{body: body, status: http.StatusOK}
 	}
-	return body, http.StatusOK, nil
+	return flightResult{body: body, status: http.StatusOK, noStore: true}
 }
 
 // requestGraph resolves the request's DFG: a named kernel or an inline DFG
@@ -820,21 +1014,104 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is pure liveness: the process is up and the handler chain
+// works. It answers 200 even while draining — a draining daemon is alive,
+// it just refuses new work, which is /readyz's distinction to make. Peers
+// probe this endpoint, so "alive but not ready" must not read as "dead".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	const route = "/healthz"
-	if s.isDraining() {
-		s.metrics.Request(route, http.StatusServiceUnavailable)
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	s.metrics.Request(route, http.StatusOK)
+	writeJSON(w, http.StatusOK, map[string]any{"status": "alive"})
+}
+
+// StoreReadiness is the /readyz store block.
+type StoreReadiness struct {
+	Writable   bool   `json:"writable"`
+	Error      string `json:"error,omitempty"`
+	Entries    int    `json:"entries"`
+	Generation uint64 `json:"generation"`
+}
+
+// ReadyResponse is the /readyz body: whether this node should receive
+// traffic, and why not when it shouldn't.
+type ReadyResponse struct {
+	Ready    bool            `json:"ready"`
+	Draining bool            `json:"draining,omitempty"`
+	Models   []string        `json:"models"`
+	Store    *StoreReadiness `json:"store,omitempty"`
+	Peers    []PeerSnapshot  `json:"peers,omitempty"`
+}
+
+// handleReadyz is readiness: draining or an unwritable store means this
+// node should be taken out of rotation (503). Unreachable peers are
+// reported but do not flip readiness — the cluster fallback path keeps a
+// lone survivor serving, so peer state is observability, not a gate.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	const route = "/readyz"
+	if r.Method != http.MethodGet {
+		s.fail(w, route, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.metrics.Request(route, http.StatusOK)
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.reg.Ready()})
+	resp := ReadyResponse{Ready: true, Models: s.reg.Ready()}
+	if s.isDraining() {
+		resp.Draining = true
+		resp.Ready = false
+	}
+	if st := s.cfg.Store; st != nil {
+		sr := &StoreReadiness{Entries: st.Len(), Generation: st.Generation()}
+		if err := st.CheckWritable(); err != nil {
+			sr.Error = err.Error()
+			resp.Ready = false
+		} else {
+			sr.Writable = true
+		}
+		resp.Store = sr
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		for _, p := range cl.Peers() {
+			cl.Probe(p) // refresh; backoff-gated, so a down peer costs no dial
+		}
+		resp.Peers = peerSnapshots(cl)
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	s.metrics.Request(route, status)
+	writeJSON(w, status, resp)
+}
+
+// peerSnapshots converts the cluster's health rows for JSON responses.
+func peerSnapshots(cl *cluster.Cluster) []PeerSnapshot {
+	rows := cl.Status()
+	out := make([]PeerSnapshot, len(rows))
+	for i, row := range rows {
+		out[i] = PeerSnapshot{URL: row.URL, Self: row.Self, Healthy: row.Healthy, Failures: row.Failures}
+	}
+	return out
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	const route = "/metrics"
 	s.metrics.Request(route, http.StatusOK)
-	snap := s.metrics.Snapshot(time.Now(), s.cache.Len())
+	snap := s.metrics.Snapshot(time.Now(), s.cache.Len(), s.cache.Bytes())
+	if st := s.cfg.Store; st != nil {
+		ss := s.metrics.storeSnapshot()
+		ss.Entries = st.Len()
+		ss.Bytes = st.Bytes()
+		ss.Dropped = st.Dropped()
+		ss.Generation = st.Generation()
+		snap.Store = &ss
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		proxied, fallbacks := s.metrics.clusterCounters()
+		snap.Cluster = &ClusterSnapshot{
+			Self:      cl.Self(),
+			Proxied:   proxied,
+			Fallbacks: fallbacks,
+			Peers:     peerSnapshots(cl),
+		}
+	}
 	if fault.Enabled() {
 		snap.Faults = fault.Counts()
 	}

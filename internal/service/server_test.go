@@ -87,7 +87,7 @@ func TestMapMissThenHitByteIdentical(t *testing.T) {
 			resp.Result.II, resp.Result.Moves, direct.II, direct.Moves)
 	}
 
-	snap := s.Metrics().Snapshot(time.Now(), s.Cache().Len())
+	snap := s.Metrics().Snapshot(time.Now(), s.Cache().Len(), s.Cache().Bytes())
 	if snap.Cache.Hits != 1 || snap.Cache.Misses != 1 {
 		t.Fatalf("cache counters hits=%d misses=%d, want 1/1", snap.Cache.Hits, snap.Cache.Misses)
 	}
@@ -124,7 +124,7 @@ func TestConcurrentIdenticalRequestsSingleMapperRun(t *testing.T) {
 			t.Fatalf("request %d body differs", i)
 		}
 	}
-	snap := s.Metrics().Snapshot(time.Now(), s.Cache().Len())
+	snap := s.Metrics().Snapshot(time.Now(), s.Cache().Len(), s.Cache().Bytes())
 	sa := snap.Engines["sa"]
 	if sa.Count != 1 {
 		t.Fatalf("mapper ran %d times for %d identical requests, want exactly 1", sa.Count, n)
@@ -252,7 +252,7 @@ func TestAdmissionControl429(t *testing.T) {
 	}
 	close(block)
 
-	snap := s.Metrics().Snapshot(time.Now(), 0)
+	snap := s.Metrics().Snapshot(time.Now(), 0, 0)
 	if snap.Rejected != 1 {
 		t.Fatalf("rejected = %d, want 1", snap.Rejected)
 	}
@@ -331,10 +331,24 @@ func TestDrainRejectsNewWork(t *testing.T) {
 	if w := postMap(t, h, `{"kernel":"gemm","arch":"cgra-4x4"}`); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("map while draining: %d, want 503", w.Code)
 	}
+	// Liveness stays green while draining — the process is alive, it just
+	// refuses new work; /readyz is what takes the node out of rotation.
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200 (liveness)", w.Code)
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
 	if w.Code != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining: %d, want 503", w.Code)
+		t.Fatalf("readyz while draining: %d, want 503", w.Code)
+	}
+	var ready ReadyResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Ready || !ready.Draining {
+		t.Fatalf("readyz body %+v, want ready=false draining=true", ready)
 	}
 }
 

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# cluster-smoke.sh — end-to-end smoke test for distributed lisa-serve.
+#
+# Starts a 3-node cluster (static peer list, per-node persistent store),
+# sends the same mapping request to every node, and asserts the distributed
+# serving contract:
+#
+#   1. every node answers byte-identically;
+#   2. the fleet ran the mapper exactly once for the one distinct request
+#      (consistent-hash routing + cross-hop singleflight);
+#   3. after restarting a node, it serves the request from its persistent
+#      store byte-identically with zero fresh mapper invocations.
+#
+# Usage: scripts/cluster-smoke.sh [port-base]   (default 8741)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT_BASE="${1:-8741}"
+BIN=bin/lisa-serve
+WORK="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/lisa-serve
+
+URLS=()
+for i in 0 1 2; do
+  URLS+=("http://127.0.0.1:$((PORT_BASE + i))")
+done
+PEERS="$(IFS=,; echo "${URLS[*]}")"
+
+start_node() { # start_node <index>
+  local i="$1"
+  "$BIN" -addr "127.0.0.1:$((PORT_BASE + i))" -train=false \
+    -store-dir "$WORK/store$i" -peers "$PEERS" -self "${URLS[$i]}" \
+    >"$WORK/node$i.log" 2>&1 &
+  PIDS[$i]=$!
+}
+
+wait_ready() { # wait_ready <url>
+  for _ in $(seq 1 50); do
+    curl -sf "$1/readyz" >/dev/null && return 0
+    sleep 0.2
+  done
+  echo "node $1 never became ready" >&2
+  return 1
+}
+
+# engine_runs <url>: total mapper invocations on one node. In the /metrics
+# document only engine blocks pair "count" with a following "failures" key
+# (histogram entries pair it with "leMillis"), so the match is unambiguous.
+engine_runs() {
+  local doc
+  doc="$(curl -sf "$1/metrics")" || return 1
+  # grep exits 1 on a node that never ran the mapper; that is a valid 0.
+  printf '%s' "$doc" |
+    { grep -o '"count":[0-9]*,"failures"' || true; } |
+    { grep -o '[0-9]*' || true; } |
+    awk '{sum += $1} END {print sum + 0}'
+}
+
+for i in 0 1 2; do start_node "$i"; done
+for u in "${URLS[@]}"; do wait_ready "$u"; done
+echo "3-node cluster up: $PEERS"
+
+req='{"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7}'
+for i in 0 1 2; do
+  curl -sf -X POST -d "$req" -o "$WORK/resp$i.json" "${URLS[$i]}/v1/map"
+done
+cmp "$WORK/resp0.json" "$WORK/resp1.json"
+cmp "$WORK/resp0.json" "$WORK/resp2.json"
+echo "bodies byte-identical across all 3 nodes"
+
+total=0
+for u in "${URLS[@]}"; do
+  runs="$(engine_runs "$u")"
+  total=$((total + runs))
+done
+echo "fleet-wide mapper runs: $total"
+test "$total" -eq 1
+
+# Restart node 0: its store must answer the request with no fresh compute.
+kill "${PIDS[0]}"
+wait "${PIDS[0]}" 2>/dev/null || true
+start_node 0
+wait_ready "${URLS[0]}"
+curl -sf -X POST -d "$req" -o "$WORK/restart.json" "${URLS[0]}/v1/map"
+cmp "$WORK/resp0.json" "$WORK/restart.json"
+runs="$(engine_runs "${URLS[0]}")"
+echo "restarted node mapper runs: $runs"
+test "$runs" -eq 0
+curl -sf "${URLS[0]}/metrics" | grep -q '"store":{' || {
+  echo "restarted node /metrics has no store block" >&2
+  exit 1
+}
+
+echo "cluster smoke: OK"
