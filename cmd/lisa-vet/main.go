@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	lisa-vet [-json] [-list] [packages...]
+//	lisa-vet [-json] [-list] [-run a,b] [-stats] [packages...]
 //
 // With no package arguments it analyzes ./... . Exit status is 0 on a
 // clean tree, 1 when any diagnostic is reported, and 2 when loading or
-// type-checking fails. Diagnostics are suppressed per line with
-// //lisa:nondet-ok <reason>; see internal/analysis for the analyzer docs.
+// type-checking fails. -run restricts the analyzer set to a comma-
+// separated list of names; -stats appends per-analyzer finding and
+// suppression counts (part of the JSON object with -json) so suppression
+// growth is visible in review. Diagnostics are suppressed per line with
+// //lisa:vet-ok <analyzer> <reason>; see internal/analysis for the
+// analyzer docs.
 package main
 
 import (
@@ -18,15 +22,19 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"github.com/lisa-go/lisa/internal/analysis"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of file:line text")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON instead of file:line text")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	runFilter := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	stats := flag.Bool("stats", false, "print per-analyzer finding/suppression counts")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lisa-vet [-json] [-list] [packages...]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: lisa-vet [-json] [-list] [-run a,b] [-stats] [packages...]\n\n"+
 			"Runs LISA's determinism & concurrency analyzers (default: ./...).\n"+
 			"Exits 1 if any diagnostic is reported, 2 on load errors.\n\n")
 		flag.PrintDefaults()
@@ -40,12 +48,18 @@ func main() {
 		return
 	}
 
+	analyzers, err := selectAnalyzers(*runFilter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lisa-vet:", err)
+		os.Exit(2)
+	}
+
 	pkgs, err := analysis.Load("", flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lisa-vet:", err)
 		os.Exit(2)
 	}
-	diags := analysis.Run(pkgs, analysis.All)
+	diags, runStats := analysis.RunWithStats(pkgs, analyzers)
 
 	// Report paths relative to the working directory: shorter, clickable,
 	// and stable across checkouts (golden CI logs diff cleanly).
@@ -60,7 +74,14 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+		var payload any = diags
+		if *stats {
+			payload = struct {
+				Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+				Stats       analysis.Stats        `json:"stats"`
+			}{diags, runStats}
+		}
+		if err := enc.Encode(payload); err != nil {
 			fmt.Fprintln(os.Stderr, "lisa-vet:", err)
 			os.Exit(2)
 		}
@@ -68,9 +89,67 @@ func main() {
 		for _, d := range diags {
 			fmt.Println(d)
 		}
+		if *stats {
+			printStats(analyzers, runStats)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lisa-vet: %d diagnostic(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers resolves the -run filter against the registered set.
+func selectAnalyzers(filter string) ([]*analysis.Analyzer, error) {
+	if filter == "" {
+		return analysis.All, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analysis.All {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("-run: unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run: no analyzers selected")
+	}
+	return out, nil
+}
+
+// printStats renders the counters in a fixed, grep-friendly format; the CI
+// perf-smoke job asserts on the "hotpath functions" line.
+func printStats(analyzers []*analysis.Analyzer, s analysis.Stats) {
+	names := make([]string, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	for name := range s.Findings { // e.g. "suppression" meta-findings
+		if !contains(names, name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("stats: %-12s findings=%d suppressions=%d\n", name, s.Findings[name], s.Suppressions[name])
+	}
+	fmt.Printf("stats: hotpath functions: %d\n", s.HotpathFuncs)
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }

@@ -51,10 +51,40 @@ var goldenCases = []struct {
 		analyzers: []*Analyzer{ErrDrop},
 	},
 	{
-		name:      "suppression",
-		fixture:   "suppressfix",
-		asPath:    "example.com/fixture/internal/suppressfix",
+		name:    "suppression",
+		fixture: "suppressfix",
+		// Poses as a result package so the maprange findings the malformed
+		// suppressions fail to silence show up next to the suppression
+		// diagnostics.
+		asPath:    "example.com/fixture/internal/mapper",
 		analyzers: []*Analyzer{MapRange},
+	},
+	{
+		name:      "lockorder",
+		fixture:   "lockfix",
+		asPath:    "example.com/fixture/internal/lockfix",
+		imports:   []string{"sync", "time"},
+		analyzers: []*Analyzer{LockOrder},
+	},
+	{
+		name:      "goleak",
+		fixture:   "leakfix",
+		asPath:    "example.com/fixture/internal/leakfix",
+		imports:   []string{"time"},
+		analyzers: []*Analyzer{GoLeak},
+	},
+	{
+		name:      "hotalloc",
+		fixture:   "hotfix",
+		asPath:    "example.com/fixture/internal/hotfix",
+		imports:   []string{"fmt"},
+		analyzers: []*Analyzer{HotAlloc},
+	},
+	{
+		name:      "faultsite",
+		fixture:   "fault",
+		asPath:    "example.com/fixture/internal/fault",
+		analyzers: []*Analyzer{FaultSite},
 	},
 }
 
@@ -110,6 +140,10 @@ func TestFixturesFailViaRealLoader(t *testing.T) {
 		"./internal/analysis/testdata/src/internal/randfix",
 		"./internal/analysis/testdata/src/internal/errfix",
 		"./internal/analysis/testdata/src/internal/suppressfix",
+		"./internal/analysis/testdata/src/internal/lockfix",
+		"./internal/analysis/testdata/src/internal/leakfix",
+		"./internal/analysis/testdata/src/internal/hotfix",
+		"./internal/analysis/testdata/src/internal/fault",
 	}
 	pkgs, err := Load("../..", patterns)
 	if err != nil {
@@ -131,11 +165,13 @@ func TestCollectSuppressions(t *testing.T) {
 	const src = `package p
 
 func f() {
-	_ = 1 //lisa:nondet-ok with a reason
-	//lisa:nondet-ok
+	_ = 1 //lisa:vet-ok maprange with a reason
+	//lisa:vet-ok maprange
 	_ = 2
-	_ = 3 //lisa:nondet-okay different marker, not ours
-	_ = 4 // lisa:nondet-ok leading space still counts
+	_ = 3 //lisa:vet-okay different marker, not ours
+	_ = 4 // lisa:vet-ok goleak leading space still counts
+	_ = 5 //lisa:vet-ok
+	_ = 6 //lisa:nondet-ok legacy marker is kept for reporting
 }
 `
 	fset := token.NewFileSet()
@@ -145,36 +181,77 @@ func f() {
 	}
 	got := collectSuppressions(fset, file)
 	want := []struct {
-		line   int
-		reason string
+		line     int
+		analyzer string
+		reason   string
+		legacy   bool
 	}{
-		{4, "with a reason"},
-		{5, ""},
-		{8, "leading space still counts"},
+		{4, "maprange", "with a reason", false},
+		{5, "maprange", "", false},
+		{8, "goleak", "leading space still counts", false},
+		{9, "", "", false},
+		{10, "", "legacy marker is kept for reporting", true},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("got %d suppressions, want %d: %+v", len(got), len(want), got)
 	}
 	for i, w := range want {
-		if got[i].line != w.line || got[i].reason != w.reason {
-			t.Errorf("suppression %d = line %d reason %q, want line %d reason %q",
-				i, got[i].line, got[i].reason, w.line, w.reason)
+		s := got[i]
+		if s.line != w.line || s.analyzer != w.analyzer || s.reason != w.reason || s.legacy != w.legacy {
+			t.Errorf("suppression %d = {line %d analyzer %q reason %q legacy %v}, want {line %d analyzer %q reason %q legacy %v}",
+				i, s.line, s.analyzer, s.reason, s.legacy, w.line, w.analyzer, w.reason, w.legacy)
 		}
 	}
 }
 
-// TestSuppressedLineAbove checks that a standalone comment suppresses the
-// statement directly below it but not two lines down.
+// TestSuppressedLineAbove checks that a well-formed comment suppresses its
+// own analyzer's finding on the line below it but nothing else: not two
+// lines down, not another analyzer, and never when malformed.
 func TestSuppressedLineAbove(t *testing.T) {
-	pkg := &Package{suppressions: []suppression{{file: "f.go", line: 10, reason: "x"}}}
+	pkg := &Package{suppressions: []suppression{
+		{file: "f.go", line: 10, analyzer: "maprange", reason: "x"},
+		{file: "f.go", line: 20, analyzer: "maprange"},              // no reason: malformed
+		{file: "f.go", line: 30, analyzer: "mapranje", reason: "x"}, // unknown analyzer
+		{file: "f.go", line: 40, reason: "legacy", legacy: true},
+	}}
 	for _, tc := range []struct {
-		line int
-		want bool
-	}{{10, true}, {11, true}, {12, false}, {9, false}} {
-		d := Diagnostic{File: "f.go", Line: tc.line}
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{10, "maprange", true},
+		{11, "maprange", true},
+		{12, "maprange", false},
+		{9, "maprange", false},
+		{11, "goleak", false}, // scoped: wrong analyzer
+		{21, "maprange", false},
+		{31, "maprange", false},
+		{41, "maprange", false},
+	} {
+		d := Diagnostic{File: "f.go", Line: tc.line, Analyzer: tc.analyzer}
 		if got := pkg.suppressed(d); got != tc.want {
-			t.Errorf("suppressed(line %d) = %v, want %v", tc.line, got, tc.want)
+			t.Errorf("suppressed(line %d, %s) = %v, want %v", tc.line, tc.analyzer, got, tc.want)
 		}
+	}
+}
+
+// TestTreeClean is the in-process form of the CI gate `lisa-vet ./...`:
+// the repo's own source must pass the full analyzer set with zero
+// unsuppressed diagnostics.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list over the whole module")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, stats := RunWithStats(pkgs, All)
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	if stats.HotpathFuncs == 0 {
+		t.Error("no //lisa:hotpath roots found in the tree; the hotalloc gate is not checking anything")
 	}
 }
 

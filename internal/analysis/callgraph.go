@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file builds the static, per-package call graph shared by the
+// interprocedural analyzers (lockorder, goleak, hotalloc). It resolves what
+// go/types can prove and over-approximates the rest:
+//
+//   - Direct calls (`f()`, `pkg.F()`) and concrete method calls (`x.M()`)
+//     resolve to their *types.Func; an edge is added when the callee is
+//     declared in the package under analysis.
+//   - A call through an interface method is over-approximated: it gets a
+//     Dynamic edge to every method declared in this package with the same
+//     name and an identical signature. Analyzers that must not follow
+//     spurious edges (lockorder) skip Dynamic edges; analyzers that want
+//     coverage (hotalloc) follow them.
+//   - Calls through function values (method values, stored closures,
+//     callbacks) are not resolved: the graph stays silent rather than
+//     guessing. This is the documented blind spot — hot-path and lock
+//     discipline in this repo flow through named functions.
+//
+// Calls inside nested function literals are attributed to nobody: a closure
+// body may run on a different goroutine or after the enclosing frame
+// returned, so charging its calls to the enclosing function would be wrong
+// for lock tracking. Analyzers that care about closure bodies (goleak,
+// hotalloc) walk the literals directly.
+
+// cgNode is one declared function or method in the package.
+type cgNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	out  []cgEdge
+}
+
+// cgEdge is one call site from a node to a same-package callee.
+type cgEdge struct {
+	callee  *cgNode
+	call    *ast.CallExpr
+	dynamic bool // interface-dispatch over-approximation, not a proven call
+}
+
+// callGraph indexes the package's declared functions and their edges.
+type callGraph struct {
+	nodes map[*types.Func]*cgNode
+}
+
+// node returns the graph node for fn, or nil if fn is not declared (with a
+// body) in this package.
+func (g *callGraph) node(fn *types.Func) *cgNode {
+	if g == nil || fn == nil {
+		return nil
+	}
+	return g.nodes[fn]
+}
+
+// CallGraph builds (once) and returns the package's call graph.
+func (pkg *Package) CallGraph() *callGraph {
+	if pkg.cg != nil {
+		return pkg.cg
+	}
+	g := &callGraph{nodes: map[*types.Func]*cgNode{}}
+
+	// Pass 1: one node per declared function/method with a body.
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.nodes[fn] = &cgNode{fn: fn, decl: decl}
+		}
+	}
+
+	// Pass 2: edges. Function literal bodies are skipped (see file comment).
+	for _, n := range g.nodes {
+		node := n
+		inspectSkipFuncLit(node.decl.Body, func(ast.Node) {}, func(call *ast.CallExpr) {
+			callees, dynamic := pkg.calleesOf(call)
+			for _, callee := range callees {
+				if target := g.nodes[callee]; target != nil {
+					node.out = append(node.out, cgEdge{callee: target, call: call, dynamic: dynamic})
+				}
+			}
+		})
+	}
+	pkg.cg = g
+	return g
+}
+
+// calleesOf resolves the possible callees of call. For a statically known
+// function or concrete method it returns exactly that function. For a call
+// through an interface method it returns every same-name, same-signature
+// method in the package and dynamic=true. Unresolvable calls (function
+// values, builtins) return nothing.
+func (pkg *Package) calleesOf(call *ast.CallExpr) (callees []*types.Func, dynamic bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.ObjectOf(fun).(*types.Func); ok {
+			return []*types.Func{fn}, false
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pkg.Info.ObjectOf(fun.Sel).(*types.Func)
+		if !ok {
+			return nil, false
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if types.IsInterface(sig.Recv().Type()) {
+				return pkg.implementersOf(fn), true
+			}
+		}
+		return []*types.Func{fn}, false
+	}
+	return nil, false
+}
+
+// implementersOf lists the package's declared methods that could satisfy a
+// dispatch through interface method m: same name, identical signature
+// (ignoring the receiver).
+func (pkg *Package) implementersOf(m *types.Func) []*types.Func {
+	msig, ok := m.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for fn := range pkg.cgCandidates() {
+		if fn.Name() != m.Name() {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		if sameSignatureIgnoringRecv(sig, msig) {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// cgCandidates yields the declared functions known so far. During graph
+// construction pass 2 the node map is already complete, so this is simply
+// the node set.
+func (pkg *Package) cgCandidates() map[*types.Func]*cgNode {
+	if pkg.cg != nil {
+		return pkg.cg.nodes
+	}
+	// Called only from within CallGraph construction, where the map being
+	// filled is not yet published; rebuild the declared set from the AST.
+	out := map[*types.Func]*cgNode{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if decl, ok := d.(*ast.FuncDecl); ok && decl.Body != nil {
+				if fn, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+					out[fn] = nil
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sameSignatureIgnoringRecv reports whether two method signatures agree on
+// parameters and results (receivers excluded).
+func sameSignatureIgnoringRecv(a, b *types.Signature) bool {
+	return types.Identical(
+		types.NewSignatureType(nil, nil, nil, a.Params(), a.Results(), a.Variadic()),
+		types.NewSignatureType(nil, nil, nil, b.Params(), b.Results(), b.Variadic()),
+	)
+}
+
+// inspectSkipFuncLit walks n without descending into *ast.FuncLit bodies,
+// invoking visit on every node and onCall on every call expression.
+func inspectSkipFuncLit(n ast.Node, visit func(ast.Node), onCall func(*ast.CallExpr)) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		if node == nil {
+			return true
+		}
+		visit(node)
+		if call, ok := node.(*ast.CallExpr); ok {
+			onCall(call)
+		}
+		return true
+	})
+}
+
+// declOf returns the AST declaration of fn if it is declared in this
+// package, else nil.
+func (pkg *Package) declOf(fn *types.Func) *ast.FuncDecl {
+	if n := pkg.CallGraph().node(fn); n != nil {
+		return n.decl
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadCGSource type-checks one source string as a package and returns it.
+func loadCGSource(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "cg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadFixture(dir, "example.com/cgfix", nil)
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	return pkg
+}
+
+// fnNode looks up the graph node for the function or method named name.
+func fnNode(t *testing.T, pkg *Package, name string) *cgNode {
+	t.Helper()
+	g := pkg.CallGraph()
+	for fn, n := range g.nodes {
+		if fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("function %s not in call graph", name)
+	return nil
+}
+
+// edgeNames renders a node's outgoing edges as callee names, with a
+// "?"-suffix on dynamic (interface over-approximated) edges.
+func edgeNames(n *cgNode) map[string]int {
+	out := map[string]int{}
+	for _, e := range n.out {
+		name := e.callee.fn.Name()
+		if e.dynamic {
+			name += "?"
+		}
+		out[name]++
+	}
+	return out
+}
+
+func TestCallGraphStaticAndRecursive(t *testing.T) {
+	pkg := loadCGSource(t, `package cgfix
+
+func entry() {
+	helper()
+	entry() // direct recursion must not loop graph construction
+}
+
+func helper() {
+	mutual()
+}
+
+func mutual() {
+	helper() // mutual recursion
+}
+`)
+	entry := edgeNames(fnNode(t, pkg, "entry"))
+	if entry["helper"] != 1 || entry["entry"] != 1 {
+		t.Errorf("entry edges = %v, want helper and entry once each", entry)
+	}
+	if got := edgeNames(fnNode(t, pkg, "mutual")); got["helper"] != 1 {
+		t.Errorf("mutual edges = %v, want helper", got)
+	}
+}
+
+// TestCallGraphInterfaceDispatch checks the documented over-approximation:
+// a call through an interface method fans out to every same-name,
+// same-signature method in the package, marked dynamic, and skips methods
+// whose signature differs.
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	pkg := loadCGSource(t, `package cgfix
+
+type runner interface{ Run(int) int }
+
+type a struct{}
+
+func (a) Run(x int) int { return x }
+
+type b struct{}
+
+func (b) Run(x int) int { return 2 * x }
+
+type other struct{}
+
+// Run on other has a different signature: not a candidate.
+func (other) Run(x string) string { return x }
+
+func dispatch(r runner) int {
+	return r.Run(1)
+}
+
+func concrete() int {
+	var v a
+	return v.Run(3) // concrete method call: one static edge
+}
+`)
+	got := edgeNames(fnNode(t, pkg, "dispatch"))
+	if len(got) != 1 || got["Run?"] != 2 {
+		t.Errorf("dispatch edges = %v, want exactly the two dynamic Run implementations", got)
+	}
+	cgot := edgeNames(fnNode(t, pkg, "concrete"))
+	if len(cgot) != 1 || cgot["Run"] != 1 {
+		t.Errorf("concrete edges = %v, want one static Run edge", cgot)
+	}
+}
+
+// TestCallGraphUnresolvedValues checks the documented blind spots: calls
+// through function values and method values produce no edges, and calls
+// inside function literals are attributed to nobody.
+func TestCallGraphUnresolvedValues(t *testing.T) {
+	pkg := loadCGSource(t, `package cgfix
+
+type s struct{}
+
+func (s) m() {}
+
+func target() {}
+
+func viaValues() {
+	f := target
+	f() // function value: unresolved
+	var v s
+	g := v.m
+	g() // method value: unresolved
+}
+
+func viaLiteral() {
+	run := func() {
+		target() // inside a literal: attributed to nobody
+	}
+	run()
+}
+`)
+	if got := edgeNames(fnNode(t, pkg, "viaValues")); len(got) != 0 {
+		t.Errorf("viaValues edges = %v, want none (function/method values are unresolved)", got)
+	}
+	if got := edgeNames(fnNode(t, pkg, "viaLiteral")); len(got) != 0 {
+		t.Errorf("viaLiteral edges = %v, want none (literal bodies are excluded)", got)
+	}
+}
+
+// TestCallGraphMemoized checks CallGraph builds once per package.
+func TestCallGraphMemoized(t *testing.T) {
+	pkg := loadCGSource(t, `package cgfix
+
+func f() {}
+`)
+	if g1, g2 := pkg.CallGraph(), pkg.CallGraph(); g1 != g2 {
+		t.Error("CallGraph rebuilt on second call; want the memoized instance")
+	}
+	var nilGraph *callGraph
+	if n := nilGraph.node(nil); n != nil {
+		t.Errorf("nil graph node lookup = %v, want nil", n)
+	}
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// FaultSite cross-checks the chaos inventory: the Site constants declared
+// in internal/fault, the list Sites() advertises to the chaos suite, and
+// the fault.Inject call sites across the whole tree must agree —
+//
+//   - every registered Site constant has exactly one Inject call site
+//     (a site with zero calls is dead inventory the chaos suite believes
+//     it is arming; a site with several calls makes one injection plan
+//     fire in places the suite never intended);
+//   - every Inject call names a registered Site constant (no raw string
+//     literals that silently miss the registry);
+//   - every Site constant appears in the Sites() listing, so the suite's
+//     "arm everything" loop cannot silently skip one.
+//
+// This is a whole-program analyzer: it needs the fault package and its
+// callers in the same load. When the loaded set contains no Inject call at
+// all (e.g. `lisa-vet ./internal/fault` alone), the per-site call-count
+// checks are skipped — otherwise every site would be reported missing.
+var FaultSite = &Analyzer{
+	Name:      "faultsite",
+	Doc:       "fault-injection sites: registry, Sites() listing, and Inject call sites must agree 1:1",
+	RunGlobal: runFaultSite,
+}
+
+func runFaultSite(gp *GlobalPass) {
+	for _, pkg := range gp.Pkgs {
+		if pathHasSuffix(pkg.Path, "internal/fault") {
+			checkFaultPackage(gp, pkg)
+		}
+	}
+}
+
+type injectCall struct {
+	pkg  *Package
+	pos  token.Pos
+	site string // constant name; "" if the argument is not a registered constant
+	arg  ast.Expr
+}
+
+func checkFaultPackage(gp *GlobalPass, faultPkg *Package) {
+	// The registered sites: package-level constants of the named type Site.
+	siteType := faultPkg.Types.Scope().Lookup("Site")
+	if siteType == nil {
+		return
+	}
+	// Site constants are keyed by name: callers in other packages resolve
+	// them through export data, so their types.Object identities differ
+	// from the source-checked fault package's.
+	var sites []*types.Const
+	registered := map[string]bool{}
+	for _, name := range faultPkg.Types.Scope().Names() { // Names() is sorted
+		c, ok := faultPkg.Types.Scope().Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), siteType.Type()) {
+			continue
+		}
+		sites = append(sites, c)
+		registered[c.Name()] = true
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	// What Sites() advertises.
+	listed, haveListing := sitesListing(faultPkg)
+
+	// Every Inject call in the loaded set, in load order (deterministic).
+	var calls []injectCall
+	for _, pkg := range gp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := pkg.calleeFunc(call)
+				if fn == nil || fn.Name() != "Inject" || fn.Pkg() == nil || fn.Pkg().Path() != faultPkg.Path {
+					return true
+				}
+				ic := injectCall{pkg: pkg, pos: call.Pos(), arg: call.Args[0]}
+				if obj := constOf(pkg, call.Args[0]); obj != nil &&
+					obj.Pkg() != nil && obj.Pkg().Path() == faultPkg.Path && registered[obj.Name()] {
+					ic.site = obj.Name()
+				}
+				calls = append(calls, ic)
+				return true
+			})
+		}
+	}
+
+	for _, c := range calls {
+		if c.site == "" {
+			gp.Reportf(c.pkg, c.arg.Pos(),
+				"Inject must be called with a registered Site constant, not %s; raw strings bypass the chaos inventory",
+				types.ExprString(c.arg))
+		}
+	}
+
+	bySite := map[string][]injectCall{}
+	for _, c := range calls {
+		if c.site != "" {
+			bySite[c.site] = append(bySite[c.site], c)
+		}
+	}
+
+	for _, site := range sites {
+		if haveListing && !listed[site.Name()] {
+			gp.Reportf(faultPkg, site.Pos(),
+				"fault site %s is registered but missing from Sites(); the chaos suite's arm-everything loop will skip it",
+				site.Name())
+		}
+		uses := bySite[site.Name()]
+		if len(calls) == 0 {
+			continue // fault package analyzed without its callers: counts unknowable
+		}
+		if len(uses) == 0 {
+			gp.Reportf(faultPkg, site.Pos(),
+				"fault site %s has no Inject call site in the analyzed tree; dead chaos inventory (site constant %q)",
+				site.Name(), site.Val().String())
+			continue
+		}
+		sort.Slice(uses, func(i, j int) bool {
+			pi := uses[i].pkg.Fset.Position(uses[i].pos)
+			pj := uses[j].pkg.Fset.Position(uses[j].pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			return pi.Line < pj.Line
+		})
+		first := uses[0].pkg.Fset.Position(uses[0].pos)
+		for _, dup := range uses[1:] {
+			gp.Reportf(dup.pkg, dup.pos,
+				"fault site %s is injected at %d call sites; one injection plan should fire in exactly one place (first site at %s:%d)",
+				site.Name(), len(uses), filepath.Base(first.Filename), first.Line)
+		}
+	}
+}
+
+// sitesListing resolves the constant names returned by the fault package's
+// Sites() function.
+func sitesListing(faultPkg *Package) (map[string]bool, bool) {
+	for _, f := range faultPkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Name.Name != "Sites" || decl.Recv != nil || decl.Body == nil {
+				continue
+			}
+			listed := map[string]bool{}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				for _, el := range lit.Elts {
+					if obj := constOf(faultPkg, el); obj != nil {
+						listed[obj.Name()] = true
+					}
+				}
+				return true
+			})
+			return listed, true
+		}
+	}
+	return nil, false
+}
+
+// constOf resolves e to the constant object it names, if any.
+func constOf(pkg *Package, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := pkg.Info.ObjectOf(x).(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := pkg.Info.ObjectOf(x.Sel).(*types.Const); ok {
+			return c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak flags goroutine patterns that leak under the daemon's lifecycle:
+//
+//   - a `go` statement whose body (a function literal, or a same-package
+//     function) contains an infinite `for` loop with no exit — no return,
+//     no break/goto, no panic — so the goroutine can never terminate and
+//     pins its stack (and captures) for the life of the process;
+//   - time.After inside a loop: each call arms a timer the runtime cannot
+//     collect until it fires, so a tight loop with a long duration grows
+//     unboundedly — hoist a time.Timer/Ticker out of the loop;
+//   - a send on an unbuffered channel from a spawned goroutine: if the
+//     receiver gives up (client hangs up, deadline fires), the sender
+//     blocks forever. Buffer the channel (size 1) or select on a
+//     cancellation path.
+//
+// Worker loops that exit via `return` (bounded index handoff, as in
+// internal/parallel) or terminate by ranging over a closable channel are
+// recognized and not flagged.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines without a termination path, time.After in loops, unbuffered sends from goroutines",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	if !pathHasSegment(pass.Pkg.Path, "internal") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			checkGoStmts(pass, decl)
+			checkUnbufferedSends(pass, decl)
+		}
+		checkTimeAfterInLoops(pass, f)
+	}
+}
+
+// checkGoStmts inspects every `go` statement in decl and flags launched
+// bodies with no termination path.
+func checkGoStmts(pass *Pass, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var body *ast.BlockStmt
+		what := "goroutine"
+		switch fun := ast.Unparen(g.Call.Fun).(type) {
+		case *ast.FuncLit:
+			body = fun.Body
+		default:
+			if fn := pass.Pkg.calleeFunc(g.Call); fn != nil {
+				if calleeDecl := pass.Pkg.declOf(fn); calleeDecl != nil {
+					body = calleeDecl.Body
+					what = "goroutine running " + fn.Name()
+				}
+			}
+		}
+		if body == nil {
+			return true // dynamic launch target: not resolvable, stay silent
+		}
+		if loop := firstInescapableLoop(body); loop != nil {
+			pass.Reportf(g.Pos(),
+				"%s loops forever with no termination path (for loop at line %d has no return, break, or panic); add a ctx/done case or range over a closable channel",
+				what, pass.Pkg.Fset.Position(loop.Pos()).Line)
+		}
+		return true
+	})
+}
+
+// firstInescapableLoop returns the first bare `for {}` loop in body whose
+// subtree (excluding nested function literals) contains no way out.
+func firstInescapableLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	inspectSkipFuncLit(body, func(n ast.Node) {
+		if found != nil {
+			return
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return
+		}
+		if !hasLoopExit(loop.Body) {
+			found = loop
+		}
+	}, func(*ast.CallExpr) {})
+	return found
+}
+
+// hasLoopExit reports whether the loop body (excluding nested function
+// literals) contains a statement that can leave the loop or the goroutine:
+// return, break, goto, or a terminating call (panic, os.Exit,
+// runtime.Goexit, log.Fatal*).
+func hasLoopExit(body *ast.BlockStmt) bool {
+	exit := false
+	inspectSkipFuncLit(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK || s.Tok == token.GOTO {
+				exit = true
+			}
+		}
+	}, func(call *ast.CallExpr) {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			exit = true
+		}
+		if fn, ok := exprFuncPkgName(call); ok {
+			switch fn {
+			case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				exit = true
+			}
+		}
+	})
+	return exit
+}
+
+// exprFuncPkgName renders a selector call target as "pkgIdent.Name" for the
+// small syntactic allowlist above (no type info needed: these stdlib names
+// are unambiguous in this codebase).
+func exprFuncPkgName(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name + "." + sel.Sel.Name, true
+}
+
+// checkTimeAfterInLoops flags time.After calls lexically inside a for/range
+// loop anywhere in the file (including function literals: the timer leak
+// does not care which frame armed it).
+func checkTimeAfterInLoops(pass *Pass, f *ast.File) {
+	var loopDepth int
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			switch s := node.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth++
+				if fs, ok := s.(*ast.ForStmt); ok {
+					walk(fs.Body)
+				} else {
+					walk(s.(*ast.RangeStmt).Body)
+				}
+				loopDepth--
+				return false
+			case *ast.CallExpr:
+				if fn := pass.Pkg.calleeFunc(s); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && fn.Name() == "After" && loopDepth > 0 {
+					pass.Reportf(s.Pos(),
+						"time.After inside a loop arms an uncollectable timer per iteration; hoist a time.Timer or time.Ticker out of the loop")
+				}
+			}
+			return true
+		})
+	}
+	walk(f)
+}
+
+// checkUnbufferedSends flags sends on function-local unbuffered channels
+// performed inside goroutines launched by the same function.
+func checkUnbufferedSends(pass *Pass, decl *ast.FuncDecl) {
+	// Locals created as make(chan T) with no capacity argument.
+	unbuffered := map[types.Object]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "make" {
+				continue
+			}
+			if t := pass.TypeOf(rhs); t == nil {
+				continue
+			} else if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				continue
+			}
+			if lhs, ok := assign.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.ObjectOf(lhs); obj != nil {
+					unbuffered[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		var selectDepth int
+		var walk func(ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(node ast.Node) bool {
+				switch s := node.(type) {
+				case *ast.SelectStmt:
+					selectDepth++
+					walk(s.Body)
+					selectDepth--
+					return false
+				case *ast.SendStmt:
+					id, ok := ast.Unparen(s.Chan).(*ast.Ident)
+					if !ok || !unbuffered[pass.ObjectOf(id)] || selectDepth > 0 {
+						return true
+					}
+					pass.Reportf(s.Pos(),
+						"goroutine sends on unbuffered channel %s; if the receiver stops waiting the goroutine blocks forever — buffer the channel (size 1) or select with a cancellation case",
+						id.Name)
+				}
+				return true
+			})
+		}
+		walk(lit.Body)
+		return false
+	})
+}

@@ -1,0 +1,380 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotpathMarker annotates a function whose transitive same-package callees
+// must stay allocation-disciplined. It lives in the function's doc comment:
+//
+//	// anneal runs the SA move loop.
+//	//
+//	//lisa:hotpath one call per /v1/map request; BENCH_mapper.json gates allocs/op
+//	func (st *state) anneal(...) { ... }
+const hotpathMarker = "lisa:hotpath"
+
+// HotAlloc enforces the source-level form of the BENCH_*.json allocation
+// ceilings: every function reachable (same-package, static or interface
+// over-approximated edges) from a //lisa:hotpath root must be free of
+//
+//   - map allocations (map literals and make(map...));
+//   - slice/array composite literals outside failure paths;
+//   - un-preallocated append growth in loops: appending to a local slice
+//     declared without a capacity hint;
+//   - function literals that capture enclosing variables and escape
+//     (passed as a call argument, returned, or stored in a field) — each
+//     such closure heap-allocates its captures;
+//   - fmt calls outside failure paths.
+//
+// Failure paths are exempt: anything inside a panic(...) argument or a
+// return statement (e.g. `return nil, fmt.Errorf(...)`) allocates only
+// when the hot path is already failing. Recognized hot idioms that are
+// deliberately NOT flagged: grow-on-demand makes guarded by a len/cap/nil
+// check, scratch and arena slices stored on struct fields (append to a
+// field amortizes), truncate-reuse scratch buffers (a local initialized
+// from a slice expression like buf[:0], or reset with x = x[:0], inherits
+// its backing's amortization), array literals (fixed size, stack unless
+// escaping), make([]T, n[, c]) preallocation, non-capturing sort closures,
+// and immediately-invoked or deferred function literals.
+//
+// Cross-package calls are opaque by design: each package annotates its own
+// hot entry points (tensor.Infer methods are roots in internal/tensor, not
+// discovered through gnn).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocation, closure-capture, and fmt discipline in //lisa:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+// hotpathRoots returns the package's annotated root functions in file
+// order. analysis.Stats counts these so CI can assert the annotation set
+// never silently becomes empty.
+func hotpathRoots(pkg *Package) []*cgNode {
+	g := pkg.CallGraph()
+	var out []*cgNode
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Doc == nil {
+				continue
+			}
+			marked := false
+			for _, c := range decl.Doc.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if _, ok := markerRest(text, hotpathMarker); ok {
+					marked = true
+					break
+				}
+			}
+			if !marked {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+				if n := g.node(fn); n != nil {
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func runHotAlloc(pass *Pass) {
+	roots := hotpathRoots(pass.Pkg)
+	if len(roots) == 0 {
+		return
+	}
+	// BFS over the call graph, remembering how each function was reached so
+	// diagnostics can name the chain.
+	chain := map[*cgNode]string{}
+	var queue []*cgNode
+	for _, r := range roots {
+		if _, seen := chain[r]; !seen {
+			chain[r] = r.fn.Name()
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		edges := append([]cgEdge(nil), n.out...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i].call.Pos() < edges[j].call.Pos() })
+		for _, e := range edges {
+			if _, seen := chain[e.callee]; !seen {
+				chain[e.callee] = chain[n] + " → " + e.callee.fn.Name()
+				queue = append(queue, e.callee)
+			}
+		}
+	}
+	var nodes []*cgNode
+	for n := range chain {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].decl.Pos() < nodes[j].decl.Pos() })
+	for _, n := range nodes {
+		checkHotFunc(pass, n, chain[n])
+	}
+}
+
+// checkHotFunc walks one hot function's body, including nested function
+// literals, with enough ancestry to recognize the exempt idioms.
+func checkHotFunc(pass *Pass, n *cgNode, via string) {
+	locals := localSliceDecls(pass, n.decl)
+	var stack []ast.Node
+	where := func() string {
+		if via == n.fn.Name() {
+			return "hot path " + via
+		}
+		return "hot path (" + via + ")"
+	}
+
+	report := func(node ast.Node, format string, args ...any) {
+		args = append(args, where())
+		pass.Reportf(node.Pos(), format+" in %s", args...)
+	}
+
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, node)
+
+		onFailurePath := hotOnFailurePath(stack)
+		switch v := node.(type) {
+		case *ast.CompositeLit:
+			t := pass.TypeOf(v)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(v, "map literal allocates")
+			case *types.Slice:
+				if !onFailurePath && !insideCompositeLit(stack) {
+					report(v, "slice literal allocates per execution")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, v, stack, locals, onFailurePath, report)
+		case *ast.FuncLit:
+			checkHotClosure(pass, n.decl, v, stack, report)
+		}
+		return true
+	})
+}
+
+// localSliceDecls maps each local slice variable of decl to whether its
+// growth is amortized: declared with a capacity hint (3-arg make), or
+// carved from / reset to an existing backing via a slice expression
+// (out := buf[:0], scratch = scratch[:0]) — truncate-reuse scratch grows
+// to its high-water mark once and then stops allocating.
+func localSliceDecls(pass *Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(name *ast.Ident, rhs ast.Expr, defining bool) {
+		obj := pass.ObjectOf(name)
+		if obj == nil {
+			return
+		}
+		if t := obj.Type(); t == nil {
+			return
+		} else if _, ok := t.Underlying().(*types.Slice); !ok {
+			return
+		}
+		amortized := false
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && id.Name == "make" && len(r.Args) == 3 {
+				amortized = true
+			}
+		case *ast.SliceExpr:
+			amortized = true // shares an existing backing; growth amortizes across calls
+		}
+		if defining {
+			out[obj] = out[obj] || amortized
+		} else if amortized {
+			// Plain assignment only upgrades (scratch = scratch[:0] proves
+			// reuse; a later scratch = nil does not un-prove it).
+			out[obj] = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && i < len(s.Rhs) {
+					record(id, s.Rhs[i], s.Tok == token.DEFINE)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				var rhs ast.Expr
+				if i < len(s.Values) {
+					rhs = s.Values[i]
+				}
+				record(name, rhs, true)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotCall flags map makes, fmt calls outside failure paths, and
+// un-preallocated append growth in loops.
+func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node,
+	locals map[types.Object]bool, onFailurePath bool, report func(ast.Node, string, ...any)) {
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			if t := pass.TypeOf(call); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(call, "make(map) allocates")
+				}
+			}
+			return
+		case "append":
+			if !inLoop(stack) || len(call.Args) == 0 {
+				return
+			}
+			target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok {
+				return // appends to fields (scratch/arena slices) amortize
+			}
+			hasCap, isLocal := locals[pass.ObjectOf(target)]
+			if isLocal && !hasCap {
+				report(call, "append to %s grows an un-preallocated local slice inside a loop; size it with make(len, cap) outside the loop", target.Name)
+			}
+			return
+		}
+	}
+	if fn := pass.Pkg.calleeFunc(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if !onFailurePath {
+			report(call, "fmt.%s allocates (formatting + interface boxing)", fn.Name())
+		}
+	}
+}
+
+// checkHotClosure flags function literals that capture enclosing variables
+// and escape the frame.
+func checkHotClosure(pass *Pass, decl *ast.FuncDecl, lit *ast.FuncLit, stack []ast.Node, report func(ast.Node, string, ...any)) {
+	if len(stack) < 2 {
+		return
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(parent.Fun) == lit {
+			return // immediately invoked: runs inline, nothing escapes
+		}
+		// lit is an argument: escapes into the callee
+	case *ast.DeferStmt, *ast.GoStmt:
+		return // once per call, not per iteration; goleak owns go-stmt hygiene
+	case *ast.AssignStmt:
+		escapes := false
+		for _, lhs := range parent.Lhs {
+			if _, isSel := ast.Unparen(lhs).(*ast.SelectorExpr); isSel {
+				escapes = true // stored in a field: outlives the frame
+			}
+		}
+		if !escapes {
+			return // local variable, invoked locally
+		}
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+		// returned or stored in a structure: escapes
+	default:
+		return
+	}
+	captured := capturedVars(pass, decl, lit)
+	if len(captured) == 0 {
+		return // non-capturing closures (sort comparators) do not heap-allocate captures
+	}
+	report(lit, "closure captures %s and escapes; each execution heap-allocates the captures", strings.Join(captured, ", "))
+}
+
+// capturedVars lists (sorted, deduplicated) the enclosing function's
+// variables referenced inside lit.
+func capturedVars(pass *Pass, decl *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured = declared inside the enclosing function but outside lit.
+		if v.Pos() < decl.Pos() || v.Pos() > decl.End() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			out = append(out, v.Name())
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// hotOnFailurePath reports whether the innermost frame's ancestry (cut at
+// the nearest enclosing function literal) passes through a return statement
+// or a panic argument list.
+func hotOnFailurePath(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.FuncLit:
+			if i != len(stack)-1 {
+				return false
+			}
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inLoop reports whether the innermost frame (cut at the nearest enclosing
+// function literal) is inside a for/range statement.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit:
+			if i != len(stack)-1 {
+				return false
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// insideCompositeLit reports whether the node is an element of an enclosing
+// composite literal (the outermost literal is the one reported).
+func insideCompositeLit(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}

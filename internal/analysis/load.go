@@ -27,6 +27,7 @@ type Package struct {
 	Info  *types.Info
 
 	suppressions []suppression
+	cg           *callGraph // built lazily by CallGraph
 }
 
 // listPackage is the subset of `go list -json` output the loader needs.

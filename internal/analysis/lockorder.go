@@ -1,0 +1,669 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// LockOrder tracks sync.Mutex/sync.RWMutex discipline interprocedurally
+// within each package:
+//
+//   - double-acquire: locking a mutex already held on the current path,
+//     directly or by calling a function that (transitively) acquires it —
+//     Go mutexes are not reentrant, so this self-deadlocks;
+//   - lock-order cycles: if one path acquires A then B and another B then
+//     A (either order possibly through a call chain), two goroutines can
+//     deadlock against each other;
+//   - imbalance: a branch that returns while a lock acquired in this
+//     function is still held and no defer releases it;
+//   - blocking under lock: a held mutex across a known-blocking call
+//     (fsync, HTTP round trips, sleeps, process waits, WaitGroup.Wait) —
+//     every other acquirer stalls for the full I/O latency.
+//
+// Lock identity is the declared mutex variable or struct field: two
+// instances of one struct type share an identity, which is the right
+// granularity for intra-package ordering rules and is documented as an
+// over-approximation. Calls through interfaces or function values are not
+// followed (the call graph marks them dynamic), and function-literal
+// bodies are not charged to the enclosing function — both directions of
+// conservatism avoid false positives at the cost of missing exotic code.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex double-acquire, lock-order cycles, early-return imbalance, blocking calls under lock",
+	Run:  runLockOrder,
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// lockOpOf classifies call as a mutex operation and resolves the mutex's
+// identity (the declared field/var object). A mutex reached through
+// anything but a selector/ident chain (map index, call result) is not
+// trackable and returns opNone.
+func lockOpOf(pkg *Package, call *ast.CallExpr) (obj types.Object, op lockOpKind, disp string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, opNone, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return nil, opNone, ""
+	}
+	recv := pkg.Info.TypeOf(sel.X)
+	if recv == nil || !isSyncMutex(recv) {
+		return nil, opNone, ""
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		obj = pkg.Info.ObjectOf(x.Sel)
+	}
+	if obj == nil {
+		return nil, opNone, ""
+	}
+	return obj, op, types.ExprString(sel.X)
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// blockingStdCall reports whether call is one of the stdlib operations this
+// analyzer treats as blocking, with a display name for the diagnostic.
+func blockingStdCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := pkg.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkgPath, name := fn.Pkg().Path(), fn.Name()
+	recvName := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recvName = named.Obj().Name()
+		}
+	}
+	key := pkgPath + "." + recvName + "." + name
+	switch key {
+	case "os.File.Sync",
+		"time..Sleep",
+		"net/http.Client.Do", "net/http.Client.Get", "net/http.Client.Post", "net/http.Client.PostForm",
+		"net/http..Get", "net/http..Post", "net/http..PostForm", "net/http..Head",
+		"os/exec.Cmd.Run", "os/exec.Cmd.Output", "os/exec.Cmd.CombinedOutput", "os/exec.Cmd.Wait",
+		"sync.WaitGroup.Wait":
+		if recvName != "" {
+			return "(*" + pkgPath + "." + recvName + ")." + name, true
+		}
+		return pkgPath + "." + name, true
+	}
+	return "", false
+}
+
+// calleeFunc resolves the called function or method on a Package (the Pass
+// variant in errdrop.go delegates here).
+func (pkg *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// acquireInfo remembers where a function first acquires a mutex, for the
+// interprocedural diagnostics.
+type acquireInfo struct {
+	pos  token.Pos
+	disp string
+}
+
+// lockSummaries holds the per-package fixpoint results: which mutexes each
+// function may acquire (transitively, static edges only) and whether it may
+// reach a blocking call.
+type lockSummaries struct {
+	pkg        *Package
+	order      []*cgNode // deterministic iteration order (by position)
+	mayAcquire map[*types.Func]map[types.Object]acquireInfo
+	blockCause map[*types.Func]string
+}
+
+func buildLockSummaries(pkg *Package) *lockSummaries {
+	g := pkg.CallGraph()
+	s := &lockSummaries{
+		pkg:        pkg,
+		mayAcquire: map[*types.Func]map[types.Object]acquireInfo{},
+		blockCause: map[*types.Func]string{},
+	}
+	for _, n := range g.nodes {
+		s.order = append(s.order, n)
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i].decl.Pos() < s.order[j].decl.Pos() })
+
+	// Direct facts.
+	for _, n := range s.order {
+		acq := map[types.Object]acquireInfo{}
+		inspectSkipFuncLit(n.decl.Body, func(ast.Node) {}, func(call *ast.CallExpr) {
+			if obj, op, disp := lockOpOf(pkg, call); op == opLock || op == opRLock {
+				if _, ok := acq[obj]; !ok {
+					acq[obj] = acquireInfo{pos: call.Pos(), disp: disp}
+				}
+			}
+			if cause, ok := blockingStdCall(pkg, call); ok {
+				if _, seen := s.blockCause[n.fn]; !seen {
+					s.blockCause[n.fn] = cause
+				}
+			}
+		})
+		s.mayAcquire[n.fn] = acq
+	}
+
+	// Fixpoint over static (non-dynamic) edges.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range s.order {
+			for _, e := range n.out {
+				if e.dynamic {
+					continue
+				}
+				for obj, info := range s.mayAcquire[e.callee.fn] {
+					if _, ok := s.mayAcquire[n.fn][obj]; !ok {
+						s.mayAcquire[n.fn][obj] = info
+						changed = true
+					}
+				}
+				if cause, ok := s.blockCause[e.callee.fn]; ok {
+					if _, seen := s.blockCause[n.fn]; !seen {
+						s.blockCause[n.fn] = e.callee.fn.Name() + " → " + cause
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// heldLock is one mutex held on the current path.
+type heldLock struct {
+	read         bool
+	deferRelease bool
+	pos          token.Pos
+	disp         string
+}
+
+type lockState map[types.Object]*heldLock
+
+func (st lockState) clone() lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// intersect keeps only locks held in both states; deferRelease survives
+// only if both paths registered the release.
+func intersect(a, b lockState) lockState {
+	out := lockState{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			c := *va
+			c.deferRelease = va.deferRelease && vb.deferRelease
+			out[k] = &c
+		}
+	}
+	return out
+}
+
+// orderEdge records "from acquired before to" with the position where the
+// second acquisition (or the call that performs it) happens.
+type orderEdge struct {
+	from, to         types.Object
+	fromDisp, toDisp string
+	pos              token.Pos
+	interprocedural  bool
+	viaFn            string // callee performing the acquisition, if any
+}
+
+type lockWalker struct {
+	pass      *Pass
+	summaries *lockSummaries
+	edges     *[]orderEdge
+	node      *cgNode
+}
+
+func runLockOrder(pass *Pass) {
+	if !pathHasSegment(pass.Pkg.Path, "internal") {
+		return
+	}
+	summaries := buildLockSummaries(pass.Pkg)
+	var edges []orderEdge
+	for _, n := range summaries.order {
+		w := &lockWalker{pass: pass, summaries: summaries, edges: &edges, node: n}
+		st, terminated := w.stmts(n.decl.Body.List, lockState{})
+		if !terminated {
+			w.checkHeldAtExit(st, n.decl.Body.End(), "function end")
+		}
+	}
+	reportOrderCycles(pass, edges)
+}
+
+// checkHeldAtExit reports locks still held (without a deferred release) when
+// control leaves the function.
+func (w *lockWalker) checkHeldAtExit(st lockState, pos token.Pos, how string) {
+	var objs []types.Object
+	for obj := range st {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return st[objs[i]].pos < st[objs[j]].pos })
+	for _, obj := range objs {
+		h := st[obj]
+		if h.deferRelease {
+			continue
+		}
+		w.pass.Reportf(pos, "%s while %s is still locked (acquired at line %d) and no defer releases it",
+			how, h.disp, w.pass.Pkg.Fset.Position(h.pos).Line)
+	}
+}
+
+// stmts walks a statement list linearly, threading the held-lock state.
+// The returned bool reports whether every path through the list terminated
+// (return, panic, branch) — callers merging branches use it.
+func (w *lockWalker) stmts(list []ast.Stmt, st lockState) (lockState, bool) {
+	for _, stmt := range list {
+		var terminated bool
+		st, terminated = w.stmt(stmt, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *lockWalker) stmt(stmt ast.Stmt, st lockState) (lockState, bool) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.ReturnStmt:
+		w.calls(s, st) // result expressions evaluate before the return
+		w.checkHeldAtExit(st, s.Pos(), "return")
+		return st, true
+
+	case *ast.BranchStmt: // break, continue, goto, fallthrough
+		return st, true
+
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+		return st, false
+
+	case *ast.GoStmt:
+		// The spawned call runs on another goroutine; its lock effects are
+		// not this path's. goleak owns goroutine analysis.
+		return st, false
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.callsExpr(s.Cond, st)
+		thenSt, thenTerm := w.stmts(s.Body.List, st.clone())
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return intersect(thenSt, elseSt), false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.callsExpr(s.Cond, st)
+		bodySt, bodyTerm := w.stmts(s.Body.List, st.clone())
+		if s.Post != nil {
+			bodySt, _ = w.stmt(s.Post, bodySt)
+		}
+		w.checkLoopBalance(st, bodySt, bodyTerm, s.Body.End())
+		return st, false
+
+	case *ast.RangeStmt:
+		w.callsExpr(s.X, st)
+		bodySt, bodyTerm := w.stmts(s.Body.List, st.clone())
+		w.checkLoopBalance(st, bodySt, bodyTerm, s.Body.End())
+		return st, false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.callsExpr(s.Tag, st)
+		return w.clauses(s.Body.List, st, hasDefaultClause(s.Body.List))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Assign != nil {
+			w.calls(s.Assign, st)
+		}
+		return w.clauses(s.Body.List, st, hasDefaultClause(s.Body.List))
+
+	case *ast.SelectStmt:
+		// A select blocks until some clause runs: every path goes through a
+		// clause, so (unlike switch without default) the entry state does
+		// not fall through on its own.
+		return w.clauses(s.Body.List, st, true)
+
+	default:
+		// Assignments, expression statements, declarations, sends: just the
+		// calls they contain, in source order.
+		w.calls(stmt, st)
+		return st, false
+	}
+}
+
+// clauses walks case/comm clause bodies from independent copies of st and
+// merges the fall-through states. exhaustive says whether some clause is
+// guaranteed to run (select, or switch with a default).
+func (w *lockWalker) clauses(list []ast.Stmt, st lockState, exhaustive bool) (lockState, bool) {
+	var fallThroughs []lockState
+	ran := false
+	for _, cl := range list {
+		var body []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.callsExpr(e, st)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			clauseSt := st.clone()
+			if c.Comm != nil {
+				clauseSt, _ = w.stmt(c.Comm, clauseSt)
+			}
+			if endSt, term := w.stmts(c.Body, clauseSt); !term {
+				fallThroughs = append(fallThroughs, endSt)
+			}
+			ran = true
+			continue
+		default:
+			continue
+		}
+		ran = true
+		if endSt, term := w.stmts(body, st.clone()); !term {
+			fallThroughs = append(fallThroughs, endSt)
+		}
+	}
+	if !exhaustive || !ran {
+		fallThroughs = append(fallThroughs, st)
+	}
+	if len(fallThroughs) == 0 {
+		return st, true // every clause terminated and one must run
+	}
+	merged := fallThroughs[0]
+	for _, other := range fallThroughs[1:] {
+		merged = intersect(merged, other)
+	}
+	return merged, false
+}
+
+func hasDefaultClause(list []ast.Stmt) bool {
+	for _, cl := range list {
+		if c, ok := cl.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoopBalance reports locks acquired inside a loop body that are still
+// held when the iteration ends — the next iteration would double-acquire.
+func (w *lockWalker) checkLoopBalance(entry, bodyEnd lockState, bodyTerm bool, pos token.Pos) {
+	if bodyTerm {
+		return
+	}
+	var objs []types.Object
+	for obj := range bodyEnd {
+		if _, held := entry[obj]; !held {
+			objs = append(objs, obj)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return bodyEnd[objs[i]].pos < bodyEnd[objs[j]].pos })
+	for _, obj := range objs {
+		h := bodyEnd[obj]
+		if h.deferRelease {
+			continue
+		}
+		w.pass.Reportf(h.pos, "%s is locked here and still held at the end of the loop iteration; the next iteration would deadlock",
+			h.disp)
+	}
+}
+
+// deferStmt registers deferred unlocks, including the defer-a-closure form.
+func (w *lockWalker) deferStmt(s *ast.DeferStmt, st lockState) {
+	markRelease := func(call *ast.CallExpr) {
+		if obj, op, _ := lockOpOf(w.pass.Pkg, call); op == opUnlock || op == opRUnlock {
+			if h, ok := st[obj]; ok {
+				h.deferRelease = true
+			}
+		}
+	}
+	markRelease(s.Call)
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				markRelease(call)
+			}
+			return true
+		})
+	}
+}
+
+// calls processes every call expression under n (skipping function
+// literals) against the current lock state.
+func (w *lockWalker) calls(n ast.Node, st lockState) {
+	inspectSkipFuncLit(n, func(ast.Node) {}, func(call *ast.CallExpr) {
+		w.call(call, st)
+	})
+}
+
+func (w *lockWalker) callsExpr(e ast.Expr, st lockState) {
+	if e != nil {
+		w.calls(e, st)
+	}
+}
+
+// call applies one call's lock effects to st and emits diagnostics.
+func (w *lockWalker) call(call *ast.CallExpr, st lockState) {
+	pkg := w.pass.Pkg
+	if obj, op, disp := lockOpOf(pkg, call); op != opNone {
+		switch op {
+		case opLock, opRLock:
+			if h, held := st[obj]; held {
+				w.pass.Reportf(call.Pos(), "%s acquired again while already held (previous acquisition at line %d); Go mutexes are not reentrant",
+					disp, pkg.Fset.Position(h.pos).Line)
+				return
+			}
+			for prev, h := range st {
+				*w.edges = append(*w.edges, orderEdge{
+					from: prev, to: obj, fromDisp: h.disp, toDisp: disp, pos: call.Pos(),
+				})
+			}
+			st[obj] = &heldLock{read: op == opRLock, pos: call.Pos(), disp: disp}
+		case opUnlock, opRUnlock:
+			delete(st, obj)
+		}
+		return
+	}
+
+	fn := pkg.calleeFunc(call)
+	if fn == nil || len(st) == 0 {
+		return
+	}
+
+	// Blocking while holding a lock: directly, or through a same-package
+	// call chain.
+	if cause, ok := blockingStdCall(pkg, call); ok {
+		w.reportBlocked(call, st, cause)
+	} else if cause, ok := w.summaries.blockCause[fn]; ok && pkg.CallGraph().node(fn) != nil {
+		w.reportBlocked(call, st, fn.Name()+" → "+cause)
+	}
+
+	// Interprocedural acquisitions: calling fn while holding H where fn may
+	// acquire A gives an order edge H→A — and a self-deadlock when A is H.
+	if pkg.CallGraph().node(fn) == nil {
+		return
+	}
+	acq := w.summaries.mayAcquire[fn]
+	var objs []types.Object
+	for obj := range acq {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return acq[objs[i]].pos < acq[objs[j]].pos })
+	for _, obj := range objs {
+		info := acq[obj]
+		if h, held := st[obj]; held {
+			w.pass.Reportf(call.Pos(), "calling %s while holding %s (acquired at line %d), but %s acquires %s again (line %d): self-deadlock",
+				fn.Name(), h.disp, pkg.Fset.Position(h.pos).Line,
+				fn.Name(), info.disp, pkg.Fset.Position(info.pos).Line)
+			continue
+		}
+		for prev, h := range st {
+			*w.edges = append(*w.edges, orderEdge{
+				from: prev, to: obj, fromDisp: h.disp, toDisp: info.disp,
+				pos: call.Pos(), interprocedural: true, viaFn: fn.Name(),
+			})
+		}
+	}
+}
+
+func (w *lockWalker) reportBlocked(call *ast.CallExpr, st lockState, cause string) {
+	var objs []types.Object
+	for obj := range st {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return st[objs[i]].pos < st[objs[j]].pos })
+	for _, obj := range objs {
+		h := st[obj]
+		w.pass.Reportf(call.Pos(), "%s held (acquired at line %d) across blocking call %s; release it before the call",
+			h.disp, w.pass.Pkg.Fset.Position(h.pos).Line, cause)
+	}
+}
+
+// reportOrderCycles finds pairs of mutexes acquired in both orders and
+// reports each inconsistent pair once, at the lexically first edge.
+func reportOrderCycles(pass *Pass, edges []orderEdge) {
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+
+	// adjacency for reachability over the order graph
+	succ := map[types.Object]map[types.Object]bool{}
+	for _, e := range edges {
+		if succ[e.from] == nil {
+			succ[e.from] = map[types.Object]bool{}
+		}
+		succ[e.from][e.to] = true
+	}
+	reaches := func(from, to types.Object) (bool, token.Pos) {
+		seen := map[types.Object]bool{from: true}
+		stack := []types.Object{from}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur == to {
+				// find a witness edge into `to` for the message
+				for _, e := range edges {
+					if e.to == to && seen[e.from] {
+						return true, e.pos
+					}
+				}
+				return true, token.NoPos
+			}
+			for next := range succ[cur] {
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false, token.NoPos
+	}
+
+	type pairKey struct{ a, b types.Object }
+	reported := map[pairKey]bool{}
+	for _, e := range edges {
+		if e.from == e.to {
+			continue
+		}
+		key := pairKey{e.from, e.to}
+		if e.to.Pos() < e.from.Pos() {
+			key = pairKey{e.to, e.from}
+		}
+		if reported[key] {
+			continue
+		}
+		// find a reverse witness: an edge (chain) to→…→from
+		if ok, witnessPos := reaches(e.to, e.from); ok {
+			reported[key] = true
+			where := "elsewhere"
+			if witnessPos != token.NoPos {
+				p := pass.Pkg.Fset.Position(witnessPos)
+				where = fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+			}
+			via := ""
+			if e.interprocedural {
+				via = fmt.Sprintf(" (via call to %s)", e.viaFn)
+			}
+			pass.Reportf(e.pos, "lock-order cycle: %s is acquired before %s here%s, but the opposite order is taken at %s; two goroutines can deadlock",
+				e.fromDisp, e.toDisp, via, where)
+		}
+	}
+}

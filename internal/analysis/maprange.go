@@ -19,7 +19,7 @@ import (
 // the collect-then-sort idiom and not flagged. Ranges whose body is
 // genuinely order-independent (copying into another map, per-key
 // arithmetic, feeding a JSON encoder that sorts keys) carry a
-// //lisa:nondet-ok <reason> annotation instead.
+// //lisa:vet-ok maprange <reason> annotation instead.
 var MapRange = &Analyzer{
 	Name: "maprange",
 	Doc:  "range over a map in a result-affecting package (nondeterministic iteration order)",
@@ -61,7 +61,7 @@ func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
 				return true
 			}
 			pass.Reportf(n.Pos(),
-				"range over map %s: iteration order is nondeterministic; collect and sort the keys first, or annotate //lisa:nondet-ok <reason> if order cannot affect results",
+				"range over map %s: iteration order is nondeterministic; collect and sort the keys first, or annotate //lisa:vet-ok maprange <reason> if order cannot affect results",
 				types.ExprString(n.X))
 		}
 		return true

@@ -1,0 +1,45 @@
+// Package fault (the fixture, posing as an internal/fault package) seeds
+// the faultsite violation classes: a site injected at two call sites, a
+// registered site with no call site at all, a site missing from the Sites()
+// listing, and an Inject call whose argument is not a registered constant.
+// AlphaRPC's single Inject call and the Sites() entries for it are the
+// clean baseline.
+package fault
+
+// Site names one fault-injection point.
+type Site string
+
+const (
+	// AlphaRPC is the clean site: listed, injected exactly once.
+	AlphaRPC Site = "alpha.rpc"
+	// BetaWrite is injected twice (see useBeta and useBetaAgain).
+	BetaWrite Site = "beta.write"
+	// GammaRead is registered but missing from Sites().
+	GammaRead Site = "gamma.read"
+	// DeadSite has no Inject call anywhere.
+	DeadSite Site = "dead.site"
+)
+
+// Sites lists the sites the chaos suite arms; GammaRead is missing.
+func Sites() []Site {
+	return []Site{AlphaRPC, BetaWrite, DeadSite}
+}
+
+// Inject is the fixture injection hook.
+func Inject(site Site, token string) error {
+	_ = site
+	_ = token
+	return nil
+}
+
+func useAlpha() error { return Inject(AlphaRPC, "a") }
+
+func useBeta() error { return Inject(BetaWrite, "b1") }
+
+// useBetaAgain is the duplicate call site.
+func useBetaAgain() error { return Inject(BetaWrite, "b2") }
+
+func useGamma() error { return Inject(GammaRead, "g") }
+
+// useRaw bypasses the registry with an ad-hoc conversion.
+func useRaw() error { return Inject(Site("raw.string"), "r") }

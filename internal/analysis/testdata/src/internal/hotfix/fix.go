@@ -1,0 +1,91 @@
+// Package hotfix seeds the hotalloc violation classes inside an annotated
+// root and the functions it reaches: map literals and map makes, slice
+// literals off the failure path, un-preallocated append growth in a loop,
+// an escaping capturing closure, and fmt calls — including one in a callee,
+// to pin the call-chain label in the diagnostic. The ok* functions are
+// called from the root too and cover the blessed idioms: capacity-hinted
+// appends, truncate-reuse scratch buffers, array literals, failure-path
+// fmt.Errorf, and non-capturing escaping closures.
+package hotfix
+
+import "fmt"
+
+var callback func()
+
+// register retains f beyond the caller's frame.
+func register(f func()) { callback = f }
+
+type pool struct {
+	scratch []int
+}
+
+// hot is the annotated root; it and everything it reaches must stay
+// allocation-disciplined.
+//
+//lisa:hotpath fixture root: the golden transcript pins every hotalloc rule
+func hot(p *pool, xs []int) int {
+	counts := map[int]int{}
+	seen := make(map[int]bool)
+	var grown []int
+	for _, x := range xs {
+		grown = append(grown, x)
+		counts[x]++
+		seen[x] = true
+	}
+	weights := []float64{0.25, 0.75}
+	local := len(grown)
+	register(func() { sinkInt = local })
+	total := tally(xs)
+	total += p.okScratch(xs)
+	total += len(okPrealloc(xs))
+	total += okArray(local, total)
+	if err := okFailure(total); err != nil {
+		return -1
+	}
+	return total + len(weights) + len(counts) + len(seen)
+}
+
+var sinkInt int
+
+// tally is reached from hot: its fmt call is a violation attributed to the
+// chain hot → tally.
+func tally(xs []int) int {
+	fmt.Println("tallying", len(xs))
+	return len(xs)
+}
+
+// okScratch reuses a truncate-reset field buffer: growth amortizes to the
+// high-water mark and stops allocating.
+func (p *pool) okScratch(xs []int) int {
+	buf := p.scratch[:0]
+	for _, x := range xs {
+		if x > 0 {
+			buf = append(buf, x)
+		}
+	}
+	p.scratch = buf
+	return len(buf)
+}
+
+// okPrealloc sizes its output up front.
+func okPrealloc(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+
+// okArray uses a fixed-size array: stack-allocated, no per-call heap cost.
+func okArray(a, b int) int {
+	pair := [2]int{a, b}
+	return pair[0] + pair[1]
+}
+
+// okFailure formats only on the failure path.
+func okFailure(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative total %d", n)
+	}
+	return nil
+}

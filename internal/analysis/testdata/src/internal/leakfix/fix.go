@@ -1,0 +1,128 @@
+// Package leakfix seeds the goleak violation classes: goroutines whose body
+// loops forever with no termination path (both a function literal and a
+// named function launched with go), time.After armed inside a loop, and a
+// send on an unbuffered channel from a spawned goroutine. The ok* functions
+// are decoys for the blessed shapes: loops with a done-channel exit, ranging
+// over a closable channel, buffered result channels, sends wrapped in a
+// select with a cancellation case, and a hoisted Ticker.
+package leakfix
+
+import "time"
+
+var sink int
+
+func step() { sink++ }
+
+// spinForever launches a literal that can never return.
+func spinForever() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+// pump loops forever too; launchPump is the flagged launch site.
+func pump() {
+	for {
+		step()
+	}
+}
+
+func launchPump() {
+	go pump()
+}
+
+// pollWithAfter arms a fresh timer every iteration.
+func pollWithAfter(events chan int, quit chan struct{}) {
+	for {
+		select {
+		case e := <-events:
+			sink += e
+		case <-time.After(time.Second):
+			step()
+		case <-quit:
+			return
+		}
+	}
+}
+
+// sendResult hands the result back over an unbuffered channel: if the
+// caller stops waiting, the goroutine blocks forever.
+func sendResult() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	return <-ch
+}
+
+func compute() int { return 42 }
+
+// okDone is a decoy: the loop exits through the done channel.
+func okDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			step()
+		}
+	}()
+}
+
+// okRange is a decoy: ranging over a channel terminates when it closes.
+func okRange(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			sink += j
+		}
+	}()
+}
+
+// okBuffered is a decoy: the size-1 buffer lets the sender finish even if
+// the receiver has given up.
+func okBuffered() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+	return <-ch
+}
+
+// okSelectSend is a decoy: the send sits in a select with a cancellation
+// case, so an abandoned receiver cannot pin the goroutine.
+func okSelectSend(done chan struct{}) int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- compute():
+		case <-done:
+		}
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-done:
+		return 0
+	}
+}
+
+// okTicker is a decoy: one Ticker hoisted out of the loop replaces the
+// per-iteration time.After.
+func okTicker(events chan int, quit chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case e := <-events:
+			sink += e
+		case <-t.C:
+			step()
+		case <-quit:
+			return
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package lockfix seeds the lockorder violation classes: an interprocedural
+// lock-order cycle (each half acquires in a consistent order locally; only
+// the cross-function view exposes the deadlock), double-acquire both direct
+// and through a call chain, an early return holding a lock without a
+// deferred unlock, and a lock held across a blocking call. The ok* functions
+// are decoys for the blessed shapes: deferred unlocks covering every return,
+// consistent ordering, and lock/unlock pairs released before blocking work.
+package lockfix
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	muA sync.Mutex
+	muB sync.Mutex
+	n   int
+}
+
+// lockAB holds muA while calling a function that acquires muB: the A→B
+// half of the cycle.
+func (s *server) lockAB() {
+	s.muA.Lock()
+	defer s.muA.Unlock()
+	s.bumpB()
+}
+
+func (s *server) bumpB() {
+	s.muB.Lock()
+	defer s.muB.Unlock()
+	s.n++
+}
+
+// lockBA holds muB while calling a function that acquires muA: the B→A
+// half. Neither function is wrong in isolation — the cycle is only visible
+// interprocedurally.
+func (s *server) lockBA() {
+	s.muB.Lock()
+	defer s.muB.Unlock()
+	s.bumpA()
+}
+
+func (s *server) bumpA() {
+	s.muA.Lock()
+	defer s.muA.Unlock()
+	s.n++
+}
+
+// doubleDirect re-locks a mutex the same function already holds.
+func (s *server) doubleDirect() {
+	s.muA.Lock()
+	s.muA.Lock()
+	s.n++
+	s.muA.Unlock()
+	s.muA.Unlock()
+}
+
+// doubleViaCall holds muA and calls a function that acquires it again.
+func (s *server) doubleViaCall() {
+	s.muA.Lock()
+	defer s.muA.Unlock()
+	s.bumpA()
+}
+
+// leakyReturn takes muB and returns early without releasing it.
+func (s *server) leakyReturn(skip bool) {
+	s.muB.Lock()
+	if skip {
+		return
+	}
+	s.n++
+	s.muB.Unlock()
+}
+
+// sleepUnderLock holds muA across a blocking call.
+func (s *server) sleepUnderLock() {
+	s.muA.Lock()
+	time.Sleep(10 * time.Millisecond)
+	s.muA.Unlock()
+}
+
+// okDeferred is clean: the deferred unlock covers the early return.
+func (s *server) okDeferred(skip bool) int {
+	s.muA.Lock()
+	defer s.muA.Unlock()
+	if skip {
+		return 0
+	}
+	s.n++
+	return s.n
+}
+
+// okRelock is clean: the first hold is released before the second acquire.
+func (s *server) okRelock() {
+	s.muA.Lock()
+	s.n++
+	s.muA.Unlock()
+	s.muA.Lock()
+	s.n++
+	s.muA.Unlock()
+}
+
+// okSleepAfterUnlock is clean: the blocking call runs with no lock held.
+func (s *server) okSleepAfterUnlock() {
+	s.muA.Lock()
+	s.n++
+	s.muA.Unlock()
+	time.Sleep(10 * time.Millisecond)
+}

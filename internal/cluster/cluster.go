@@ -155,7 +155,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if c.now == nil {
 		c.now = func() time.Time {
-			//lisa:nondet-ok backoff gating only: the clock decides when a down peer is re-probed, never what any mapping result contains
+			//lisa:vet-ok wallclock backoff gating only: the clock decides when a down peer is re-probed, never what any mapping result contains
 			return time.Now()
 		}
 	}
@@ -314,6 +314,7 @@ func (c *Cluster) Probe(peer string) bool {
 	if !c.Available(peer) {
 		return false
 	}
+	//lisa:vet-ok faultsite Probe and Forward share the PeerRPC site on purpose: a peer-RPC fault plan must hit both paths a request can reach that peer through
 	if err := fault.Inject(fault.PeerRPC, fault.Token(peer)); err != nil {
 		c.markFailure(peer)
 		return false

@@ -33,7 +33,7 @@ func Unroll(g *Graph, factor int) *Graph {
 
 	for it := 0; it < factor; it++ {
 		remap := make(map[int]int, g.NumNodes())
-		//lisa:nondet-ok map-to-map copy; remap's content is independent of insertion order
+		//lisa:vet-ok maprange map-to-map copy; remap's content is independent of insertion order
 		for orig, sh := range shared {
 			remap[orig] = sh
 		}

@@ -245,7 +245,6 @@ func Activate(p *Plan) error {
 		// Validate in sorted site order so a plan with several bad entries
 		// always reports the same one first.
 		sites := make([]Site, 0, len(p.Sites))
-		//lisa:nondet-ok key collection only; validated in sorted order below
 		for site := range p.Sites {
 			sites = append(sites, site)
 		}

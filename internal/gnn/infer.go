@@ -36,6 +36,8 @@ var inferPool = sync.Pool{New: func() any { return tensor.NewInfer() }}
 // the per-DFG outputs are byte-identical to calling Predict on each set
 // alone. The error is non-nil only for scale-vector version skew (see
 // CheckScales).
+//
+//lisa:hotpath one call per uncached /v1/map request; the fused pass exists to kill per-node allocations
 func (m *Model) PredictBatch(sets []*attr.Set) ([]*labels.Labels, error) {
 	if err := m.CheckScales(); err != nil {
 		return nil, err

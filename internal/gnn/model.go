@@ -202,18 +202,21 @@ func (m *Model) Predict(set *attr.Set) (*labels.Labels, error) {
 // model whose scale vectors predate an attribute-set change must be
 // retrained, not silently half-scaled.
 func (m *Model) CheckScales() error {
-	for _, s := range []struct {
-		name      string
-		got, want int
-	}{
-		{"node", len(m.NodeScale), attr.NodeAttrDim},
-		{"edge", len(m.EdgeScale), attr.EdgeAttrDim},
-		{"dummy", len(m.DummyScale), attr.DummyAttrDim},
-	} {
-		if s.got != 0 && s.got != s.want {
-			return fmt.Errorf("gnn: model %q %s scale has %d columns, want %d (attribute-set version skew; retrain the model)",
-				m.ArchName, s.name, s.got, s.want)
-		}
+	if err := m.checkScale("node", len(m.NodeScale), attr.NodeAttrDim); err != nil {
+		return err
+	}
+	if err := m.checkScale("edge", len(m.EdgeScale), attr.EdgeAttrDim); err != nil {
+		return err
+	}
+	return m.checkScale("dummy", len(m.DummyScale), attr.DummyAttrDim)
+}
+
+// checkScale validates one scale vector's width (CheckScales runs on the
+// serving hot path, so the check is literal-free).
+func (m *Model) checkScale(name string, got, want int) error {
+	if got != 0 && got != want {
+		return fmt.Errorf("gnn: model %q %s scale has %d columns, want %d (attribute-set version skew; retrain the model)",
+			m.ArchName, name, got, want)
 	}
 	return nil
 }

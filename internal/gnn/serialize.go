@@ -60,7 +60,7 @@ func (m *Model) Save(w io.Writer) error {
 		DummyScale: m.DummyScale,
 		ASAPScale:  m.ASAPScale,
 	}
-	//lisa:nondet-ok builds a map keyed the same way; encoding/json sorts map keys on output
+	//lisa:vet-ok maprange builds a map keyed the same way; encoding/json sorts map keys on output
 	for name, t := range m.namedWeights() {
 		f.Weights[name] = &tensorFile{Rows: t.Rows, Cols: t.Cols, Data: t.Data}
 	}
@@ -161,7 +161,7 @@ func Load(r io.Reader, seedModel *Model) (*Model, error) {
 	m.EdgeScale = f.EdgeScale
 	m.DummyScale = f.DummyScale
 	m.ASAPScale = f.ASAPScale
-	//lisa:nondet-ok validation passed: every copy is per-key into the matching tensor, no cross-key effects
+	//lisa:vet-ok maprange validation passed: every copy is per-key into the matching tensor, no cross-key effects
 	for name, t := range want {
 		copy(t.Data, f.Weights[name].Data)
 	}

@@ -321,7 +321,7 @@ func (m *Model) Accuracy(samples []Sample) [4]float64 {
 				hit[0]++
 			}
 		}
-		//lisa:nondet-ok integer hit/total counters; addition is commutative, order cannot change the tally
+		//lisa:vet-ok maprange integer hit/total counters; addition is commutative, order cannot change the tally
 		for p, want := range s.Lbl.SameLevel {
 			total[1]++
 			if math.Abs(pred.SameLevel[p]-want) <= 1 {

@@ -65,7 +65,7 @@ func (l *Labels) Clone() *Labels {
 		Temporal:  append([]float64(nil), l.Temporal...),
 		SameLevel: make(map[Pair]float64, len(l.SameLevel)),
 	}
-	//lisa:nondet-ok map-to-map copy; the clone's content is independent of iteration order
+	//lisa:vet-ok maprange map-to-map copy; the clone's content is independent of iteration order
 	for k, v := range l.SameLevel {
 		c.SameLevel[k] = v
 	}
@@ -209,7 +209,7 @@ func average(cands []Candidate) *Labels {
 			out.Spatial[i] += c.Labels.Spatial[i]
 			out.Temporal[i] += c.Labels.Temporal[i]
 		}
-		//lisa:nondet-ok per-key accumulation: each key's sum only sees its own candidates, in slice order
+		//lisa:vet-ok maprange per-key accumulation: each key's sum only sees its own candidates, in slice order
 		for k, v := range c.Labels.SameLevel {
 			out.SameLevel[k] += v
 		}
@@ -221,7 +221,7 @@ func average(cands []Candidate) *Labels {
 		out.Spatial[i] /= n
 		out.Temporal[i] /= n
 	}
-	//lisa:nondet-ok per-key division; no cross-key interaction
+	//lisa:vet-ok maprange per-key division; no cross-key interaction
 	for k := range out.SameLevel {
 		out.SameLevel[k] /= n
 	}

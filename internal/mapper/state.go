@@ -225,6 +225,8 @@ func (st *state) dist(a, b int) int {
 }
 
 // anneal runs the movement loop; it returns success and the movement count.
+//
+//lisa:hotpath the SA move/route loop is the mapper's entire runtime; BENCH_mapper.json gates allocs per move
 func (st *state) anneal(opts Options, start time.Time) (bool, int) {
 	st.initialPhase = true
 	st.placeAll()

@@ -49,6 +49,8 @@ func NewCache(max int, maxBytes int64) *Cache {
 
 // Get returns the cached body for key, refreshing its recency. The returned
 // slice is shared and must not be mutated.
+//
+//lisa:hotpath every /v1/map request takes this read before anything else; a hit must not allocate
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

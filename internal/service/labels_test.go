@@ -100,7 +100,7 @@ func TestLabelsBadRequests(t *testing.T) {
 		"unknown field":  `{"arch":"cgra-4x4","kernels":["gemm"],"turbo":true}`,
 		"broken json":    `{`,
 	}
-	//lisa:nondet-ok each case asserts independently; execution order cannot change the verdict
+	//lisa:vet-ok maprange each case asserts independently; execution order cannot change the verdict
 	for what, body := range cases {
 		if w := postLabels(t, h, body); w.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", what, w.Code)

@@ -279,11 +279,11 @@ func (m *Metrics) Snapshot(now time.Time, cacheEntries int, cacheBytes int64) Me
 		// Coalesced followers count as hits: the mapper did not run for them.
 		s.Cache.HitRatio = float64(m.hits+m.coalesced) / float64(total)
 	}
-	//lisa:nondet-ok map-to-map snapshot copies; encoding/json sorts map keys when the snapshot is served
+	//lisa:vet-ok maprange map-to-map snapshot copies; encoding/json sorts map keys when the snapshot is served
 	for route, n := range m.requests {
 		s.Requests[route] = n
 	}
-	//lisa:nondet-ok same: per-key copy into a map that json marshals with sorted keys
+	//lisa:vet-ok maprange same: per-key copy into a map that json marshals with sorted keys
 	for code, n := range m.status {
 		s.Status[statusKey(code)] = n
 	}

@@ -888,7 +888,6 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 			Spatial:  lbl.Spatial,
 			Temporal: lbl.Temporal,
 		}
-		//lisa:nondet-ok collected into a slice and sorted by (A, B) below
 		for p, v := range lbl.SameLevel {
 			row.SameLevel = append(row.SameLevel, SameLevelEntry{A: p.A, B: p.B, Value: v})
 		}

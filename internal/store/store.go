@@ -39,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -88,10 +89,11 @@ type Store struct {
 	dir string
 	gen uint64
 
-	mu      sync.Mutex
-	entries int
-	bytes   int64
-	dropped int // torn/corrupt entries removed since Open (incl. the Open scan)
+	mu       sync.Mutex
+	entries  int
+	bytes    int64
+	dropped  int                      // torn/corrupt entries removed since Open (incl. the Open scan)
+	inflight map[string]chan struct{} // key -> closed when its in-flight Put finishes
 }
 
 // Open prepares dir (creating it if needed), sweeps crash debris, verifies
@@ -102,7 +104,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir}
+	s := &Store{dir: dir, inflight: map[string]chan struct{}{}}
 
 	prev := s.readIndex()
 	s.gen = prev.Generation + 1
@@ -209,6 +211,8 @@ func (s *Store) entryPath(key string) string {
 // Get returns the body stored under key. ErrNotFound is the ordinary miss;
 // a *CorruptError means a damaged entry was found, deleted, and should be
 // recomputed; other errors are I/O failures (also safe to treat as misses).
+//
+//lisa:hotpath the L2 read behind every in-memory cache miss; only the I/O itself may allocate
 func (s *Store) Get(key string) ([]byte, error) {
 	if !validKey(key) {
 		return nil, fmt.Errorf("store: invalid key %q", key)
@@ -248,8 +252,11 @@ func decodeEntry(raw []byte) (body []byte, reason string) {
 		return nil, "bad header"
 	}
 	wantSum := fields[1]
-	var wantLen int
-	if _, err := fmt.Sscanf(fields[2], "%d", &wantLen); err != nil || wantLen < 0 {
+	// strconv.Atoi, not Sscanf: Sscanf("%d") accepts trailing junk
+	// ("12abc" parses as 12), which would let a corrupted length field
+	// masquerade as valid.
+	wantLen, err := strconv.Atoi(fields[2])
+	if err != nil || wantLen < 0 {
 		return nil, "bad length field"
 	}
 	body = raw[nl+1:]
@@ -294,12 +301,38 @@ func (s *Store) Put(key string, body []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
 	}
-	// One writer at a time keeps the exists-check and the census coherent;
-	// writes are one-per-unique-mapping, so the serialization is cheap.
-	// Cross-process writers are not serialized but are benign: identical
-	// keys carry identical bytes and renames are atomic.
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Claim the key under the lock, write outside it: atomicWrite ends in
+	// an fsync, and holding s.mu across that would stall every Get/Len/
+	// metrics read for a disk flush (lockorder flags exactly this shape).
+	// Writers that lose the claim wait for the winner and then retry, so
+	// a Put that returns nil always means the entry is on disk — either
+	// this call wrote it or an identical-bytes writer did.
+	claim := func() (chan struct{}, bool) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if ch := s.inflight[key]; ch != nil {
+			return ch, false
+		}
+		ch := make(chan struct{})
+		s.inflight[key] = ch
+		return ch, true
+	}
+	var done chan struct{}
+	for {
+		ch, won := claim()
+		if won {
+			done = ch
+			break
+		}
+		<-ch // winner finished (or failed); re-check the disk and re-claim
+	}
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(done)
+	}()
+
 	if _, err := os.Stat(s.entryPath(key)); err == nil {
 		return nil
 	}
@@ -315,8 +348,10 @@ func (s *Store) Put(key string, body []byte) error {
 	if err := s.atomicWrite(s.entryPath(key), data); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.entries++
 	s.bytes += int64(len(body))
+	s.mu.Unlock()
 	return nil
 }
 

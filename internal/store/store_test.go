@@ -341,3 +341,50 @@ func TestKeysSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentSameKeyPutsCoalesce pins the claim-under-lock contract: many
+// goroutines Putting the same key produce exactly one census entry, every
+// Put returns with the entry readable, and s.mu is never held across the
+// fsync (lockorder enforces the static side; this exercises the dynamic
+// one under the race detector).
+func TestConcurrentSameKeyPutsCoalesce(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	k := key("hot")
+	body := []byte("same bytes from every writer")
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Put(k, body); err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+			// Put returning nil means the entry is on disk, even for
+			// writers that lost the in-flight claim.
+			if got, err := s.Get(k); err != nil || !bytes.Equal(got, body) {
+				t.Errorf("Get after Put = %q, %v", got, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after %d same-key Puts, want 1", s.Len(), n)
+	}
+	if s.Bytes() != int64(len(body)) {
+		t.Fatalf("Bytes = %d, want %d (census double-counted a coalesced write)", s.Bytes(), len(body))
+	}
+}
+
+// TestDecodeEntryRejectsTrailingJunkLength pins the strconv.Atoi fix:
+// fmt.Sscanf("%d") accepted "12abc" as 12, letting a corrupted length
+// field slip through header validation.
+func TestDecodeEntryRejectsTrailingJunkLength(t *testing.T) {
+	body := []byte("twelve bytes")
+	sum := sha256.Sum256(body)
+	raw := fmt.Sprintf("%s %s 12abc\n%s", format, hex.EncodeToString(sum[:]), body)
+	if _, reason := decodeEntry([]byte(raw)); reason != "bad length field" {
+		t.Fatalf("decodeEntry reason = %q, want %q", reason, "bad length field")
+	}
+}

@@ -102,6 +102,8 @@ func (in *Infer) hdr() *Tensor {
 // NewMat allocates a zeroed rows×cols matrix in the arena. The result never
 // requires gradients; feeding it to the taped ops is allowed (it is a plain
 // constant there).
+//
+//lisa:hotpath arena carve called by every fused op
 func (in *Infer) NewMat(rows, cols int) *Tensor {
 	t := in.hdr()
 	*t = Tensor{Rows: rows, Cols: cols, Data: in.alloc(rows * cols)}
@@ -112,6 +114,8 @@ func (in *Infer) NewMat(rows, cols int) *Tensor {
 // over a transposed copy of b in column blocks — both operands stream
 // linearly — while accumulating exactly like the taped MatMul: ascending k,
 // zero entries of a skipped.
+//
+//lisa:hotpath per-layer matmul of every served prediction; BENCH_gnn.json gates allocs/op
 func (in *Infer) MatMul(a, b *Tensor) *Tensor {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape (%dx%d)@(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -149,6 +153,8 @@ func (in *Infer) MatMul(a, b *Tensor) *Tensor {
 }
 
 // Add returns a + b (same shape), no tape.
+//
+//lisa:hotpath fused-inference op; must stay arena-only
 func (in *Infer) Add(a, b *Tensor) *Tensor {
 	checkSameShape("add", a, b)
 	out := in.NewMat(a.Rows, a.Cols)
@@ -159,6 +165,8 @@ func (in *Infer) Add(a, b *Tensor) *Tensor {
 }
 
 // Mul returns the element-wise product a ⊙ b, no tape.
+//
+//lisa:hotpath fused-inference op; must stay arena-only
 func (in *Infer) Mul(a, b *Tensor) *Tensor {
 	checkSameShape("mul", a, b)
 	out := in.NewMat(a.Rows, a.Cols)
@@ -169,6 +177,8 @@ func (in *Infer) Mul(a, b *Tensor) *Tensor {
 }
 
 // ReLU returns max(x, 0) element-wise, no tape.
+//
+//lisa:hotpath fused-inference op; must stay arena-only
 func (in *Infer) ReLU(x *Tensor) *Tensor {
 	out := in.NewMat(x.Rows, x.Cols)
 	for i, v := range x.Data {
@@ -181,6 +191,8 @@ func (in *Infer) ReLU(x *Tensor) *Tensor {
 
 // ConcatCols concatenates tensors with equal row counts along columns, no
 // tape.
+//
+//lisa:hotpath fused-inference op; must stay arena-only
 func (in *Infer) ConcatCols(parts ...*Tensor) *Tensor {
 	if len(parts) == 0 {
 		panic("tensor: concat of nothing")
@@ -206,6 +218,8 @@ func (in *Infer) ConcatCols(parts ...*Tensor) *Tensor {
 
 // Reciprocal mirrors the taped Reciprocal: entries with magnitude below eps
 // yield exactly 1.
+//
+//lisa:hotpath fused-inference op; must stay arena-only
 func (in *Infer) Reciprocal(x *Tensor, eps float64) *Tensor {
 	out := in.NewMat(x.Rows, x.Cols)
 	for i, v := range x.Data {
@@ -221,6 +235,8 @@ func (in *Infer) Reciprocal(x *Tensor, eps float64) *Tensor {
 // Aggregate pools rows of x over index sets exactly like the taped
 // Aggregate (empty sets yield zero rows; mean divides after summing in set
 // order), without recording arg-extremum selections.
+//
+//lisa:hotpath fused-inference op; must stay arena-only
 func (in *Infer) Aggregate(x *Tensor, sets [][]int, kind AggKind) *Tensor {
 	cols := x.Cols
 	out := in.NewMat(len(sets), cols)
