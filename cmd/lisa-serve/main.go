@@ -10,20 +10,26 @@
 //
 // Endpoints:
 //
-//	POST /v1/map        {"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7}
-//	POST /v1/map/batch  {"items":[...]} — many mapping requests, one round trip
-//	GET  /v1/archs      capability discovery: targets + model readiness/errors
-//	GET  /v1/kernels    the built-in PolyBench kernels
-//	POST /v1/reload     clear cached training failures, rescan the models dir
-//	GET  /healthz       liveness (always 200 while the process serves)
-//	GET  /readyz        readiness (503 while draining or the store is unwritable)
-//	GET  /metrics       request counts, cache tiers, cluster routing, latency
+//	POST /v1/map          {"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7}
+//	POST /v1/map/batch    {"items":[...]} — many mapping requests, one round trip
+//	POST /v1/labels       raw GNN label predictions, no annealer
+//	GET  /v1/archs        capability discovery: targets + model readiness,
+//	                      provenance (loaded/trained/shipped) and errors
+//	GET  /v1/kernels      the built-in PolyBench kernels
+//	GET  /v1/model/{arch} this node's trained model as verified gnn.Save bytes
+//	POST /v1/reload       clear cached training/fetch failures, rescan models
+//	GET  /healthz         liveness (always 200 while the process serves)
+//	GET  /readyz          readiness (503 while draining or store unwritable)
+//	GET  /metrics         request counts, cache tiers, cluster routing, models
 //
 // -store-dir persists results on disk (content-addressed, crash-tolerant):
 // a restarted daemon answers previously computed requests byte-identically
 // without re-running the mapper. -peers/-self join a static fleet: each
 // request key has one owning node on a consistent-hash ring, non-owners
-// proxy to it, and a dead owner degrades to local compute.
+// proxy to it, and a dead owner degrades to local compute. Trained models
+// ship the same channel: a node with no model for a requested arch fetches
+// the ring owner's (checksum- and gnn.Load-validated) before falling back
+// to local training.
 //
 // SIGINT/SIGTERM drains: the listener stops accepting, in-flight mappings
 // finish, then the process exits.

@@ -27,15 +27,20 @@ package cluster
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/lisa-go/lisa/internal/fault"
@@ -46,9 +51,39 @@ import (
 // configurations (e.g. a peer restarted with a different -peers list).
 const ForwardedHeader = "X-Lisa-Forwarded"
 
+// ModelSHAHeader and ModelLenHeader self-describe a served model payload —
+// the HTTP mirror of the store's "lisa-store/v1 <sha256> <length>" entry
+// header. The fetching side verifies both against the received body before
+// it even tries gnn.Load, so a torn proxy response is caught at the wire.
+const (
+	ModelSHAHeader = "X-Lisa-Model-Sha256"
+	ModelLenHeader = "X-Lisa-Model-Length"
+)
+
 // ErrPeerDown reports a peer skipped because it is inside its backoff
 // window; the caller falls back to local compute without paying a timeout.
 var ErrPeerDown = errors.New("cluster: peer in backoff")
+
+// ErrNoModel reports a peer that answered the model fetch but has no model
+// for the arch (HTTP 404). Transport-class for the ladder: the next ring
+// candidate may have one, and this peer may train one later.
+var ErrNoModel = errors.New("cluster: peer has no model for arch")
+
+// ValidationError reports a fetched model payload that failed integrity or
+// structural validation: the peer answered, but with bytes that must not be
+// installed. Unlike a transport failure this is permanent until the peer's
+// model changes, so callers cache it (cleared by Retry/reload) instead of
+// re-fetching the same bad bytes on every request.
+type ValidationError struct {
+	Peer string
+	Err  error
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("cluster: %s: invalid model payload: %v", e.Peer, e.Err)
+}
+
+func (e *ValidationError) Unwrap() error { return e.Err }
 
 // Config describes one node's view of the fleet. Every node must be given
 // the same Peers set (any order) for ownership to agree.
@@ -66,6 +101,10 @@ type Config struct {
 	RPCTimeout time.Duration
 	// ProbeTimeout bounds one health probe (default 2s).
 	ProbeTimeout time.Duration
+	// FetchTimeout bounds one model-fetch attempt (default 10s — a model
+	// file is a few hundred KB of JSON; anything slower is a sick peer and
+	// local training is the better spend).
+	FetchTimeout time.Duration
 	// BackoffBase and BackoffMax shape the failure backoff
 	// base×2^(failures−1), capped at max (defaults 250ms and 8s).
 	BackoffBase time.Duration
@@ -98,6 +137,7 @@ type Cluster struct {
 	ring     []point  // sorted by hash
 	client   *http.Client
 	probe    *http.Client
+	fetch    *http.Client
 	now      func() time.Time
 	backoff0 time.Duration
 	backoffM time.Duration
@@ -173,8 +213,13 @@ func New(cfg Config) (*Cluster, error) {
 	if probeTimeout <= 0 {
 		probeTimeout = 2 * time.Second
 	}
+	fetchTimeout := cfg.FetchTimeout
+	if fetchTimeout <= 0 {
+		fetchTimeout = 10 * time.Second
+	}
 	c.client = &http.Client{Timeout: rpcTimeout, Transport: cfg.Transport}
 	c.probe = &http.Client{Timeout: probeTimeout, Transport: cfg.Transport}
+	c.fetch = &http.Client{Timeout: fetchTimeout, Transport: cfg.Transport}
 
 	// Ring points are hashes of "peer|replica" over the *sorted* peer list,
 	// so every node — whatever order its -peers flag came in — derives the
@@ -202,6 +247,13 @@ func hash64(s string) uint64 {
 	return h.Sum64()
 }
 
+// PayloadSHA is the hex SHA-256 of a model payload — the value both sides
+// of the model wire format put in ModelSHAHeader.
+func PayloadSHA(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
 // Self returns this node's URL.
 func (c *Cluster) Self() string { return c.self }
 
@@ -222,6 +274,33 @@ func (c *Cluster) Owner(key string) string {
 
 // OwnsSelf reports whether this node owns key.
 func (c *Cluster) OwnsSelf(key string) bool { return c.Owner(key) == c.self }
+
+// Successors returns the distinct remote peers in ring order starting at
+// key's owner, self excluded. This is the model-fetch candidate list: the
+// owner is the peer most likely to hold a trained model for the key (all
+// label traffic for it routes there), and when the owner is down — or this
+// node *is* the owner — the ring successors are the next most likely, in an
+// order every node agrees on.
+func (c *Cluster) Successors(key string) []string {
+	h := hash64(key)
+	start := sort.Search(len(c.ring), func(i int) bool { return c.ring[i].hash >= h })
+	if start == len(c.ring) {
+		start = 0
+	}
+	out := make([]string, 0, len(c.peers))
+	seen := make(map[int]bool, len(c.peers))
+	for i := 0; i < len(c.ring) && len(seen) < len(c.peers); i++ {
+		pt := c.ring[(start+i)%len(c.ring)]
+		if seen[pt.peer] {
+			continue
+		}
+		seen[pt.peer] = true
+		if p := c.peers[pt.peer]; p != c.self {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 // Available reports whether peer may be contacted right now: healthy, or
 // its backoff window has expired (the next call doubles as the probe).
@@ -304,6 +383,80 @@ func (c *Cluster) Forward(peer, path string, token uint64, body []byte) (*Respon
 	return &Response{Status: resp.StatusCode, Header: resp.Header, Body: raw}, nil
 }
 
+// retryableConn reports whether err is a connection-level refusal or reset
+// — the peer process is restarting or just bounced, and an immediate second
+// dial plausibly lands on the fresh listener. Timeouts are excluded: a
+// timed-out request may still be executing on the peer, and retrying it
+// doubles the load exactly when the peer is slowest.
+func retryableConn(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
+}
+
+// doGet issues a GET through client, retrying exactly once on a
+// connection-refused/reset error. Safe only because GETs here are
+// idempotent reads (health probes, model fetches); Forward's POSTs are
+// never retried — a mapping request that died mid-flight may have been
+// executed, and replaying it would double-count in the peer's metrics.
+func (c *Cluster) doGet(client *http.Client, url string) (*http.Response, error) {
+	resp, err := client.Get(url)
+	if err != nil && retryableConn(err) {
+		resp, err = client.Get(url)
+	}
+	return resp, err
+}
+
+// FetchModel asks peer for its trained model for arch and returns the raw
+// gnn.Save bytes, verified against the payload's own SHA-256 and length
+// headers. Errors classify for the registry's retry policy: health-gate
+// skips (ErrPeerDown), transport failures, and non-OK statuses other than
+// 404 are transient — try the next ring candidate, retry later; ErrNoModel
+// (404) means this peer just hasn't trained yet; a *ValidationError means
+// the peer served bytes that fail integrity checks, which re-fetching will
+// not fix. The injected model.fetch fault behaves as a transport failure.
+func (c *Cluster) FetchModel(peer, arch string) ([]byte, error) {
+	if !c.Available(peer) {
+		return nil, ErrPeerDown
+	}
+	if err := fault.Inject(fault.ModelFetch, fault.Token(peer+"|"+arch)); err != nil {
+		c.markFailure(peer)
+		return nil, fmt.Errorf("cluster: %s: %w", peer, err)
+	}
+	resp, err := c.doGet(c.fetch, peer+"/v1/model/"+url.PathEscape(arch))
+	if err != nil {
+		c.markFailure(peer)
+		return nil, fmt.Errorf("cluster: %s: %w", peer, err)
+	}
+	defer func() { _ = resp.Body.Close() }() // fully read below; close cannot lose data
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.markFailure(peer)
+		return nil, fmt.Errorf("cluster: %s: reading model: %w", peer, err)
+	}
+	c.markSuccess(peer) // the peer answered; what it said is judged below
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, fmt.Errorf("cluster: %s: %w", peer, ErrNoModel)
+	case resp.StatusCode != http.StatusOK:
+		return nil, fmt.Errorf("cluster: %s: model fetch status %d", peer, resp.StatusCode)
+	}
+	if want := resp.Header.Get(ModelLenHeader); want != "" {
+		n, err := strconv.Atoi(want)
+		if err != nil || n != len(body) {
+			return nil, &ValidationError{Peer: peer, Err: fmt.Errorf("length header says %s, body is %d bytes", want, len(body))}
+		}
+	}
+	if want := resp.Header.Get(ModelSHAHeader); want != "" {
+		if got := PayloadSHA(body); got != want {
+			return nil, &ValidationError{Peer: peer, Err: fmt.Errorf("sha256 header says %s, body hashes to %s", want, got)}
+		}
+	}
+	return body, nil
+}
+
 // Probe contacts peer's liveness endpoint and updates its health state,
 // reporting reachability. Peers inside their backoff window are not
 // contacted (reported down) so a dead node costs one timeout per window.
@@ -319,7 +472,7 @@ func (c *Cluster) Probe(peer string) bool {
 		c.markFailure(peer)
 		return false
 	}
-	resp, err := c.probe.Get(peer + "/healthz")
+	resp, err := c.doGet(c.probe, peer+"/healthz")
 	if err != nil {
 		c.markFailure(peer)
 		return false

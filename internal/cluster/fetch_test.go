@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/fault"
+)
+
+// flakyTransport fails the first request with failFirst (when set), then
+// answers every request with a canned 200 — the deterministic stand-in for
+// a peer that was mid-restart on the first dial and back up on the second.
+type flakyTransport struct {
+	calls     atomic.Int32
+	failFirst error
+	status    int
+	header    http.Header
+	body      []byte
+}
+
+func (t *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if t.calls.Add(1) == 1 && t.failFirst != nil {
+		return nil, t.failFirst
+	}
+	status := t.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	h := t.header
+	if h == nil {
+		h = http.Header{}
+	}
+	return &http.Response{
+		StatusCode: status,
+		Header:     h,
+		Body:       io.NopCloser(bytes.NewReader(t.body)),
+		Request:    r,
+	}, nil
+}
+
+// timeoutErr satisfies net.Error with Timeout()==true.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "deadline exceeded" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func refused() error {
+	return &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+}
+
+func modelHeaders(body []byte) http.Header {
+	h := http.Header{}
+	h.Set(ModelSHAHeader, PayloadSHA(body))
+	h.Set(ModelLenHeader, strconv.Itoa(len(body)))
+	return h
+}
+
+// The mid-flight-restart regression: a peer that refuses the first dial
+// (old process gone, new one not yet listening on attempt one) must not
+// fail an idempotent GET — FetchModel retries exactly once and succeeds.
+func TestFetchModelRetriesRefusedOnce(t *testing.T) {
+	body := []byte(`{"format":1}`)
+	tr := &flakyTransport{failFirst: refused(), header: modelHeaders(body), body: body}
+	peers := threePeers()
+	c := mustNew(t, Config{Self: peers[0], Peers: peers, Transport: tr})
+
+	got, err := c.FetchModel(peers[1], "cgra-4x4")
+	if err != nil {
+		t.Fatalf("FetchModel across a restart = %v", err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body = %q, want %q", got, body)
+	}
+	if n := tr.calls.Load(); n != 2 {
+		t.Fatalf("transport saw %d calls, want exactly 2 (one retry)", n)
+	}
+	if !c.Available(peers[1]) {
+		t.Fatal("a recovered retry left the peer marked down")
+	}
+}
+
+func TestGetDoesNotRetryTimeout(t *testing.T) {
+	tr := &flakyTransport{failFirst: &net.OpError{Op: "read", Net: "tcp", Err: timeoutErr{}}}
+	peers := threePeers()
+	c := mustNew(t, Config{Self: peers[0], Peers: peers, Transport: tr})
+
+	if _, err := c.FetchModel(peers[1], "cgra-4x4"); err == nil {
+		t.Fatal("timed-out fetch succeeded")
+	}
+	if n := tr.calls.Load(); n != 1 {
+		t.Fatalf("transport saw %d calls, want 1 — a timed-out request may still be running on the peer", n)
+	}
+	if c.Available(peers[1]) {
+		t.Fatal("transport failure did not mark the peer down")
+	}
+}
+
+// Forward is a POST — a mapping request that died mid-flight may already
+// have executed on the peer, so it is never replayed.
+func TestForwardDoesNotRetryRefused(t *testing.T) {
+	tr := &flakyTransport{failFirst: refused()}
+	peers := threePeers()
+	c := mustNew(t, Config{Self: peers[0], Peers: peers, Transport: tr})
+
+	if _, err := c.Forward(peers[1], "/v1/map", 1, nil); err == nil {
+		t.Fatal("Forward over a refused dial succeeded")
+	}
+	if n := tr.calls.Load(); n != 1 {
+		t.Fatalf("transport saw %d calls, want 1 — POSTs are not idempotent", n)
+	}
+}
+
+func TestProbeRetriesRefusedOnce(t *testing.T) {
+	tr := &flakyTransport{failFirst: refused()}
+	peers := threePeers()
+	c := mustNew(t, Config{Self: peers[0], Peers: peers, Transport: tr})
+	if !c.Probe(peers[1]) {
+		t.Fatal("probe across a restart failed")
+	}
+	if n := tr.calls.Load(); n != 2 {
+		t.Fatalf("transport saw %d calls, want exactly 2", n)
+	}
+}
+
+func TestFetchModelAgainstLiveServer(t *testing.T) {
+	body := []byte(`{"format":1,"arch":"cgra-4x4"}`)
+	var gotPath string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		w.Header().Set(ModelSHAHeader, PayloadSHA(body))
+		w.Header().Set(ModelLenHeader, strconv.Itoa(len(body)))
+		_, _ = w.Write(body)
+	}))
+	defer srv.Close()
+	self := "http://127.0.0.1:9001"
+	c := mustNew(t, Config{Self: self, Peers: []string{self, srv.URL}})
+
+	got, err := c.FetchModel(srv.URL, "cgra-4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body = %q", got)
+	}
+	if gotPath != "/v1/model/cgra-4x4" {
+		t.Fatalf("fetch hit %s", gotPath)
+	}
+}
+
+func TestFetchModelErrorClassification(t *testing.T) {
+	body := []byte(`{"format":1}`)
+	t.Run("404 is ErrNoModel", func(t *testing.T) {
+		tr := &flakyTransport{status: http.StatusNotFound}
+		peers := threePeers()
+		c := mustNew(t, Config{Self: peers[0], Peers: peers, Transport: tr})
+		_, err := c.FetchModel(peers[1], "x")
+		if !errors.Is(err, ErrNoModel) {
+			t.Fatalf("err = %v, want ErrNoModel", err)
+		}
+		var ve *ValidationError
+		if errors.As(err, &ve) {
+			t.Fatal("a 404 classified as a validation error")
+		}
+		if !c.Available(peers[1]) {
+			t.Fatal("a 404 marked an alive peer down")
+		}
+	})
+	t.Run("sha mismatch is ValidationError", func(t *testing.T) {
+		h := modelHeaders(body)
+		h.Set(ModelSHAHeader, "deadbeef")
+		tr := &flakyTransport{header: h, body: body}
+		peers := threePeers()
+		c := mustNew(t, Config{Self: peers[0], Peers: peers, Transport: tr})
+		_, err := c.FetchModel(peers[1], "x")
+		var ve *ValidationError
+		if !errors.As(err, &ve) || ve.Peer != peers[1] {
+			t.Fatalf("err = %v, want *ValidationError for %s", err, peers[1])
+		}
+		if !c.Available(peers[1]) {
+			t.Fatal("a corrupt payload marked the peer down — it answered; backoff would delay rerouting to healthy candidates")
+		}
+	})
+	t.Run("length mismatch is ValidationError", func(t *testing.T) {
+		h := modelHeaders(body)
+		h.Set(ModelLenHeader, "3")
+		tr := &flakyTransport{header: h, body: body}
+		peers := threePeers()
+		c := mustNew(t, Config{Self: peers[0], Peers: peers, Transport: tr})
+		_, err := c.FetchModel(peers[1], "x")
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Fatalf("err = %v, want *ValidationError", err)
+		}
+	})
+	t.Run("refused twice is transport error and marks down", func(t *testing.T) {
+		clk := &fakeClock{t: time.Unix(1000, 0)}
+		peers := threePeers()
+		// Peer not listening at all: both the attempt and its one retry fail.
+		c := mustNew(t, Config{Self: peers[0], Peers: peers, Now: clk.now})
+		_, err := c.FetchModel(peers[1], "x")
+		if err == nil {
+			t.Fatal("fetch from a dead peer succeeded")
+		}
+		var ve *ValidationError
+		if errors.As(err, &ve) {
+			t.Fatal("a dead peer classified as a validation error")
+		}
+		if _, err := c.FetchModel(peers[1], "x"); !errors.Is(err, ErrPeerDown) {
+			t.Fatalf("second fetch = %v, want ErrPeerDown (backoff gate)", err)
+		}
+	})
+}
+
+func TestFetchModelFaultSite(t *testing.T) {
+	body := []byte(`{"format":1}`)
+	tr := &flakyTransport{header: modelHeaders(body), body: body}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	peers := threePeers()
+	c := mustNew(t, Config{Self: peers[0], Peers: peers, Now: clk.now, Transport: tr})
+
+	plan, err := fault.ParsePlan("model.fetch=error:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Activate(plan); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Deactivate()
+
+	_, err = c.FetchModel(peers[1], "cgra-4x4")
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Site != fault.ModelFetch {
+		t.Fatalf("fetch under model.fetch fault = %v, want injected error", err)
+	}
+	if n := tr.calls.Load(); n != 0 {
+		t.Fatal("injected fault still dialed the peer")
+	}
+	if c.Available(peers[1]) {
+		t.Fatal("injected fetch failure did not mark the peer down")
+	}
+	fault.Deactivate()
+	clk.advance(time.Minute)
+	if _, err := c.FetchModel(peers[1], "cgra-4x4"); err != nil {
+		t.Fatalf("recovery fetch = %v", err)
+	}
+}
+
+func TestSuccessorsRingOrder(t *testing.T) {
+	peers := threePeers()
+	c := mustNew(t, Config{Self: peers[0], Peers: peers})
+	for i := 0; i < 200; i++ {
+		key := string(rune('a'+i%26)) + strconv.Itoa(i)
+		succ := c.Successors(key)
+		seen := map[string]bool{}
+		for _, p := range succ {
+			if p == c.Self() {
+				t.Fatalf("key %q: Successors includes self", key)
+			}
+			if seen[p] {
+				t.Fatalf("key %q: duplicate successor %s", key, p)
+			}
+			seen[p] = true
+		}
+		if len(succ) != len(peers)-1 {
+			t.Fatalf("key %q: %d successors, want all %d remote peers", key, len(succ), len(peers)-1)
+		}
+		if owner := c.Owner(key); owner != c.Self() && succ[0] != owner {
+			t.Fatalf("key %q: first successor %s, want owner %s", key, succ[0], owner)
+		}
+	}
+	// Every node must derive the same candidate order for the same key
+	// (self-exclusion aside) — the fetch path's no-coordination contract.
+	b := mustNew(t, Config{Self: peers[1], Peers: []string{peers[2], peers[1], peers[0]}})
+	for i := 0; i < 50; i++ {
+		key := "model|" + strconv.Itoa(i)
+		var fromA, fromB []string
+		for _, p := range append([]string{c.Owner(key)}, c.Successors(key)...) {
+			if !contains(fromA, p) {
+				fromA = append(fromA, p)
+			}
+		}
+		for _, p := range append([]string{b.Owner(key)}, b.Successors(key)...) {
+			if !contains(fromB, p) {
+				fromB = append(fromB, p)
+			}
+		}
+		// Dropping self from each node's view, the underlying ring order
+		// must agree: compare the full owner-first traversals.
+		if fromA[0] != fromB[0] {
+			t.Fatalf("key %q: ring traversal disagrees: %v vs %v", key, fromA, fromB)
+		}
+	}
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -49,12 +49,13 @@ const (
 	StoreRead      Site = "store.read"      // persistent result-store lookup
 	StoreWrite     Site = "store.write"     // persistent result-store write (fires as a torn write)
 	PeerRPC        Site = "peer.rpc"        // cluster peer proxy call / health probe
+	ModelFetch     Site = "model.fetch"     // trained-model fetch from a ring peer
 )
 
 // Sites lists every instrumented site in stable order.
 func Sites() []Site {
 	return []Site{RegistryLoad, GNNTrain, MapperAnneal, RouterDijkstra, CacheGet, PoolSubmit,
-		StoreRead, StoreWrite, PeerRPC}
+		StoreRead, StoreWrite, PeerRPC, ModelFetch}
 }
 
 // Mode selects what an armed site does when it fires.
@@ -226,7 +227,7 @@ func (p *Plan) String() string {
 var active atomic.Pointer[Plan]
 
 // injected counts fires per site; slot order matches Sites().
-var injected [9]atomic.Int64
+var injected [10]atomic.Int64
 
 func siteIndex(s Site) int {
 	for i, k := range Sites() {

@@ -1,6 +1,8 @@
 package gnn
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,7 +15,12 @@ import (
 
 // modelFile is the on-disk JSON schema of a trained model.
 type modelFile struct {
-	Format   int                    `json:"format"`
+	Format int `json:"format"`
+	// Sha256 self-verifies the envelope: the hex SHA-256 of the file's own
+	// canonical encoding with this field empty. Load recomputes and compares
+	// it, so a truncated or torn model file is a clean validation error, not
+	// silently loaded garbage. Empty in legacy files, which load unverified.
+	Sha256   string                 `json:"sha256,omitempty"`
 	ArchName string                 `json:"arch"`
 	Weights  map[string]*tensorFile `json:"weights"`
 
@@ -64,8 +71,30 @@ func (m *Model) Save(w io.Writer) error {
 	for name, t := range m.namedWeights() {
 		f.Weights[name] = &tensorFile{Rows: t.Rows, Cols: t.Cols, Data: t.Data}
 	}
+	sum, err := checksum(&f)
+	if err != nil {
+		return err
+	}
+	f.Sha256 = sum
 	enc := json.NewEncoder(w)
 	return enc.Encode(&f)
+}
+
+// checksum hashes the canonical encoding of f with its Sha256 field empty.
+// json.Marshal is deterministic here — struct field order is fixed, map keys
+// are sorted, and float64 values round-trip to identical shortest
+// representations — so a decode/re-encode of an untampered file reproduces
+// the exact bytes Save hashed.
+func checksum(f *modelFile) (string, error) {
+	prev := f.Sha256
+	f.Sha256 = ""
+	payload, err := json.Marshal(f)
+	f.Sha256 = prev
+	if err != nil {
+		return "", fmt.Errorf("gnn: encode model for checksum: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Load reads a model saved by Save into a freshly initialized Model. Every
@@ -80,6 +109,18 @@ func Load(r io.Reader, seedModel *Model) (*Model, error) {
 	}
 	if f.Format != modelFormat {
 		return nil, fmt.Errorf("gnn: unsupported model format %d", f.Format)
+	}
+	// Envelope checksum first: a file that decoded as JSON can still be torn
+	// (a truncated array, a bit-flipped weight). Legacy files carry no
+	// checksum and skip straight to structural validation.
+	if f.Sha256 != "" {
+		sum, err := checksum(&f)
+		if err != nil {
+			return nil, err
+		}
+		if sum != f.Sha256 {
+			return nil, fmt.Errorf("gnn: model checksum mismatch: file says %s, content hashes to %s", f.Sha256, sum)
+		}
 	}
 	// Validation walks both weight sets in sorted-name order so a file with
 	// several problems always reports the same one first: Load's error text

@@ -36,12 +36,21 @@ func loadFrom(t *testing.T, f *modelFile) error {
 	return err
 }
 
+// loadCorrupted drops the envelope checksum before loading, so the mutation
+// under test reaches structural validation — the legacy-file path, which must
+// keep guarding files that predate the sha256 field.
+func loadCorrupted(t *testing.T, f *modelFile) error {
+	t.Helper()
+	f.Sha256 = ""
+	return loadFrom(t, f)
+}
+
 func TestLoadRejectsCorruptModelFiles(t *testing.T) {
 	t.Run("truncated weight data", func(t *testing.T) {
 		f := savedModelFile(t)
 		w := f.Weights["order.Out"]
 		w.Data = w.Data[:len(w.Data)-1]
-		if err := loadFrom(t, f); err == nil || !strings.Contains(err.Error(), "values") {
+		if err := loadCorrupted(t, f); err == nil || !strings.Contains(err.Error(), "values") {
 			t.Fatalf("truncated data accepted (err=%v)", err)
 		}
 	})
@@ -49,42 +58,42 @@ func TestLoadRejectsCorruptModelFiles(t *testing.T) {
 		f := savedModelFile(t)
 		w := f.Weights["same.W1"]
 		w.Data = append(w.Data, 0.5)
-		if err := loadFrom(t, f); err == nil {
+		if err := loadCorrupted(t, f); err == nil {
 			t.Fatal("oversized data accepted")
 		}
 	})
 	t.Run("wrong shape", func(t *testing.T) {
 		f := savedModelFile(t)
 		f.Weights["order.W0"].Rows++
-		if err := loadFrom(t, f); err == nil || !strings.Contains(err.Error(), "shape") {
+		if err := loadCorrupted(t, f); err == nil || !strings.Contains(err.Error(), "shape") {
 			t.Fatalf("foreign shape accepted (err=%v)", err)
 		}
 	})
 	t.Run("missing weight", func(t *testing.T) {
 		f := savedModelFile(t)
 		delete(f.Weights, "temporal.W2")
-		if err := loadFrom(t, f); err == nil || !strings.Contains(err.Error(), "missing") {
+		if err := loadCorrupted(t, f); err == nil || !strings.Contains(err.Error(), "missing") {
 			t.Fatalf("missing weight accepted (err=%v)", err)
 		}
 	})
 	t.Run("unknown extra weight", func(t *testing.T) {
 		f := savedModelFile(t)
 		f.Weights["trojan.W"] = &tensorFile{Rows: 1, Cols: 1, Data: []float64{1}}
-		if err := loadFrom(t, f); err == nil || !strings.Contains(err.Error(), "unknown") {
+		if err := loadCorrupted(t, f); err == nil || !strings.Contains(err.Error(), "unknown") {
 			t.Fatalf("unknown weight accepted (err=%v)", err)
 		}
 	})
 	t.Run("null weight", func(t *testing.T) {
 		f := savedModelFile(t)
 		f.Weights["order.Out"] = nil
-		if err := loadFrom(t, f); err == nil {
+		if err := loadCorrupted(t, f); err == nil {
 			t.Fatal("null weight accepted")
 		}
 	})
 	t.Run("bad scale length", func(t *testing.T) {
 		f := savedModelFile(t)
 		f.NodeScale = f.NodeScale[:2]
-		if err := loadFrom(t, f); err == nil || !strings.Contains(err.Error(), "nodeScale") {
+		if err := loadCorrupted(t, f); err == nil || !strings.Contains(err.Error(), "nodeScale") {
 			t.Fatalf("bad scale length accepted (err=%v)", err)
 		}
 	})
@@ -108,7 +117,7 @@ func TestLoadErrorOrderIsStable(t *testing.T) {
 			f.Weights["temporal.W2"].Rows++
 			f.Weights["same.W1"].Rows++
 			f.Weights["order.W0"].Rows++
-			err := loadFrom(t, f)
+			err := loadCorrupted(t, f)
 			if err == nil {
 				t.Fatal("corrupt file accepted")
 			}
@@ -127,7 +136,7 @@ func TestLoadErrorOrderIsStable(t *testing.T) {
 			f := savedModelFile(t)
 			f.Weights["zzz.B"] = &tensorFile{Rows: 1, Cols: 1, Data: []float64{1}}
 			f.Weights["aaa.A"] = &tensorFile{Rows: 1, Cols: 1, Data: []float64{1}}
-			err := loadFrom(t, f)
+			err := loadCorrupted(t, f)
 			if err == nil || !strings.Contains(err.Error(), `"aaa.A"`) {
 				t.Fatalf("error = %v, want unknown weight aaa.A reported first", err)
 			}
@@ -138,10 +147,49 @@ func TestLoadErrorOrderIsStable(t *testing.T) {
 			f := savedModelFile(t)
 			f.NodeScale = f.NodeScale[:2]
 			f.EdgeScale = f.EdgeScale[:1]
-			err := loadFrom(t, f)
+			err := loadCorrupted(t, f)
 			if err == nil || !strings.Contains(err.Error(), "nodeScale") {
 				t.Fatalf("error = %v, want nodeScale reported before edgeScale", err)
 			}
+		}
+	})
+}
+
+func TestLoadVerifiesEnvelopeChecksum(t *testing.T) {
+	t.Run("tampered content with intact checksum is rejected", func(t *testing.T) {
+		f := savedModelFile(t)
+		f.Weights["order.Out"].Data[0] += 0.25 // plausible value, structurally valid
+		err := loadFrom(t, f)
+		if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+			t.Fatalf("tampered file accepted (err=%v)", err)
+		}
+	})
+	t.Run("forged checksum is rejected", func(t *testing.T) {
+		f := savedModelFile(t)
+		f.Sha256 = strings.Repeat("ab", 32)
+		err := loadFrom(t, f)
+		if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+			t.Fatalf("forged checksum accepted (err=%v)", err)
+		}
+	})
+	t.Run("legacy file without checksum still loads", func(t *testing.T) {
+		f := savedModelFile(t)
+		f.Sha256 = ""
+		if err := loadFrom(t, f); err != nil {
+			t.Fatalf("legacy file rejected: %v", err)
+		}
+	})
+	t.Run("save emits a checksum that round-trips", func(t *testing.T) {
+		f := savedModelFile(t)
+		if f.Sha256 == "" {
+			t.Fatal("Save wrote no checksum")
+		}
+		sum, err := checksum(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != f.Sha256 {
+			t.Fatalf("decoded file re-hashes to %s, envelope says %s", sum, f.Sha256)
 		}
 	})
 }
@@ -150,6 +198,7 @@ func TestLoadErrorOrderIsStable(t *testing.T) {
 func TestLoadFailureLeavesSeedModelUntouched(t *testing.T) {
 	f := savedModelFile(t)
 	f.Weights["temporal.W2"].Rows++ // invalid, but order.* weights still match
+	f.Sha256 = ""                   // reach structural validation, not the checksum
 
 	seed := NewModel(rand.New(rand.NewSource(7)), "pristine")
 	before := append([]float64(nil), seed.Order.W0.Data...)

@@ -1,0 +1,290 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/fault"
+	"github.com/lisa-go/lisa/internal/gnn"
+)
+
+// fetchFor returns a FetchFunc serving m, counting calls.
+func fetchFor(m *gnn.Model, calls *atomic.Int32) FetchFunc {
+	return func(name string) (*gnn.Model, string, error) {
+		calls.Add(1)
+		return m, "http://peer-a:9001", nil
+	}
+}
+
+func TestFetchedModelWinsOverTraining(t *testing.T) {
+	r := New(quickCfg())
+	ar := arch.NewBaseline4x4()
+	shipped := gnn.NewModel(rand.New(rand.NewSource(9)), ar.Name())
+	var calls atomic.Int32
+	r.SetFetch(fetchFor(shipped, &calls))
+
+	m, err := r.ModelFor(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != shipped {
+		t.Fatal("ModelFor trained locally despite a working fetch source")
+	}
+	info := r.InfoFor(ar.Name())
+	if !info.Ready || info.Provenance != ProvShipped || info.Source != "http://peer-a:9001" {
+		t.Fatalf("InfoFor = %+v, want ready/shipped from peer-a", info)
+	}
+	ctr := r.Counters()
+	if ctr.Fetches != 1 || ctr.TrainRuns != 0 || ctr.FetchErrors != 0 {
+		t.Fatalf("Counters = %+v, want exactly one fetch and zero training runs", ctr)
+	}
+	if counts := r.ProvenanceCounts(); counts[ProvShipped] != 1 {
+		t.Fatalf("ProvenanceCounts = %v", counts)
+	}
+}
+
+// N concurrent requests for one model-less arch must trigger exactly one
+// fetch — the busy state singleflights the whole acquisition ladder.
+func TestFetchSingleflight(t *testing.T) {
+	r := New(quickCfg())
+	ar := arch.NewBaseline4x4()
+	shipped := gnn.NewModel(rand.New(rand.NewSource(9)), ar.Name())
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	r.SetFetch(func(name string) (*gnn.Model, string, error) {
+		calls.Add(1)
+		<-gate // hold every concurrent caller on the busy slot
+		return shipped, "http://peer-a:9001", nil
+	})
+
+	const callers = 16
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer wg.Done()
+			if m, err := r.ModelFor(ar); err != nil || m != shipped {
+				t.Errorf("ModelFor = (%v, %v)", m, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("%d concurrent requests triggered %d fetches, want 1", callers, n)
+	}
+}
+
+func TestTransientFetchErrorRetriesNextRequest(t *testing.T) {
+	cfg := quickCfg()
+	cfg.TrainOnDemand = false // isolate the fetch rung
+	r := New(cfg)
+	ar := arch.NewBaseline4x4()
+	shipped := gnn.NewModel(rand.New(rand.NewSource(9)), ar.Name())
+	var calls atomic.Int32
+	r.SetFetch(func(name string) (*gnn.Model, string, error) {
+		if calls.Add(1) == 1 {
+			return nil, "", errors.New("dial tcp: connection refused")
+		}
+		return shipped, "http://peer-a:9001", nil
+	})
+
+	if _, err := r.ModelFor(ar); err == nil {
+		t.Fatal("first ModelFor succeeded through a failing fetch")
+	}
+	// Transport-class failure: slot back to idle, error observable but NOT
+	// cached as a failed state — no Retry needed before the next attempt.
+	if err := r.Err(ar.Name()); err != nil {
+		t.Fatalf("transient fetch failure cached as permanent: %v", err)
+	}
+	if info := r.InfoFor(ar.Name()); info.FetchErr == nil {
+		t.Fatal("InfoFor lost the fetch error")
+	}
+	m, err := r.ModelFor(ar)
+	if err != nil || m != shipped {
+		t.Fatalf("second ModelFor = (%v, %v), want the shipped model with no manual Retry", m, err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("fetch ran %d times, want 2", n)
+	}
+	if info := r.InfoFor(ar.Name()); info.FetchErr != nil {
+		t.Fatalf("successful fetch left a stale fetch error: %v", info.FetchErr)
+	}
+	if ctr := r.Counters(); ctr.Fetches != 1 || ctr.FetchErrors != 1 {
+		t.Fatalf("Counters = %+v", ctr)
+	}
+}
+
+func TestPermanentFetchErrorIsCachedUntilRetry(t *testing.T) {
+	cfg := quickCfg()
+	cfg.TrainOnDemand = false
+	r := New(cfg)
+	ar := arch.NewBaseline4x4()
+	shipped := gnn.NewModel(rand.New(rand.NewSource(9)), ar.Name())
+	var calls atomic.Int32
+	bad := true
+	r.SetFetch(func(name string) (*gnn.Model, string, error) {
+		calls.Add(1)
+		if bad {
+			return nil, "", Permanent(fmt.Errorf("payload sha256 mismatch"))
+		}
+		return shipped, "http://peer-a:9001", nil
+	})
+
+	_, err1 := r.ModelFor(ar)
+	if err1 == nil || !IsPermanent(err1) {
+		t.Fatalf("err1 = %v, want the permanent validation error", err1)
+	}
+	// Cached: the second request answers from the failed slot without
+	// re-fetching the same bad bytes.
+	_, err2 := r.ModelFor(ar)
+	if err2 == nil || err2.Error() != err1.Error() {
+		t.Fatalf("err2 = %v, want the cached %v", err2, err1)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fetch ran %d times for a cached permanent failure, want 1", n)
+	}
+	if err := r.Err(ar.Name()); err == nil {
+		t.Fatal("Err reports nothing for the failed slot")
+	}
+	// ...but not forever: Retry re-opens the slot, and a healed source wins.
+	bad = false
+	if !r.Retry(ar.Name()) {
+		t.Fatal("Retry found nothing to clear")
+	}
+	if m, err := r.ModelFor(ar); err != nil || m != shipped {
+		t.Fatalf("ModelFor after Retry = (%v, %v)", m, err)
+	}
+	if info := r.InfoFor(ar.Name()); info.Provenance != ProvShipped || info.FetchErr != nil {
+		t.Fatalf("InfoFor after heal = %+v", info)
+	}
+}
+
+func TestFetchFailureFallsBackToTraining(t *testing.T) {
+	r := New(quickCfg()) // TrainOnDemand
+	ar := arch.NewBaseline4x4()
+	r.SetFetch(func(name string) (*gnn.Model, string, error) {
+		return nil, "", errors.New("no peer reachable")
+	})
+	m, err := r.ModelFor(ar)
+	if err != nil || m == nil {
+		t.Fatalf("ModelFor = (%v, %v), want local training to answer", m, err)
+	}
+	info := r.InfoFor(ar.Name())
+	if info.Provenance != ProvTrained {
+		t.Fatalf("provenance = %q, want trained", info.Provenance)
+	}
+	if info.FetchErr == nil {
+		t.Fatal("the failed fetch rung left no trace for /v1/archs")
+	}
+	if ctr := r.Counters(); ctr.TrainRuns != 1 || ctr.FetchErrors != 1 || ctr.Fetches != 0 {
+		t.Fatalf("Counters = %+v", ctr)
+	}
+}
+
+func TestModelBytesRoundTrip(t *testing.T) {
+	r := New(quickCfg())
+	ar := arch.NewBaseline4x4()
+	if _, err := r.ModelBytes(ar.Name()); err == nil {
+		t.Fatal("ModelBytes served an unresolved slot")
+	}
+	pre := gnn.NewModel(rand.New(rand.NewSource(9)), ar.Name())
+	r.Put(pre)
+	b, err := r.ModelBytes(ar.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gnn.Load(bytes.NewReader(b), gnn.NewModel(rand.New(rand.NewSource(1)), ""))
+	if err != nil {
+		t.Fatalf("ModelBytes payload does not round-trip through gnn.Load: %v", err)
+	}
+	if m.ArchName != ar.Name() {
+		t.Fatalf("round-tripped arch = %q", m.ArchName)
+	}
+	// Serialization is deterministic — the byte-identity the smoke test's
+	// owner-vs-replica comparison rests on.
+	b2, err := r.ModelBytes(ar.Name())
+	if err != nil || string(b2) != string(b) {
+		t.Fatal("ModelBytes is not deterministic")
+	}
+}
+
+// Satellite: registry.Retry error-caching semantics under concurrency.
+// Cached failures answer without re-work, Retry clears exactly once, and a
+// subsequent success replaces the cached error — with -race across
+// concurrent ModelFor/Err/Retry callers.
+func TestRetryCachedErrorConcurrent(t *testing.T) {
+	plan, err := fault.ParsePlan("gnn.train=error:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Activate(plan); err != nil {
+		t.Fatal(err)
+	}
+	r := New(quickCfg())
+	ar := arch.NewBaseline4x4()
+	if _, err := r.ModelFor(ar); err == nil {
+		fault.Deactivate()
+		t.Fatal("ModelFor succeeded with the gnn.train fault armed")
+	}
+	fault.Deactivate()
+
+	// Phase 1: concurrent readers of the cached failure — none may retrain.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.ModelFor(ar); err == nil {
+				t.Error("cached failure silently retrained")
+			}
+			if r.Err(ar.Name()) == nil {
+				t.Error("Err lost the cached failure")
+			}
+		}()
+	}
+	wg.Wait()
+	if ctr := r.Counters(); ctr.TrainRuns != 1 {
+		t.Fatalf("TrainRuns = %d after cached-failure reads, want 1", ctr.TrainRuns)
+	}
+
+	// Phase 2: concurrent Retry callers — exactly one clears the slot.
+	var cleared atomic.Int32
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r.Retry(ar.Name()) {
+				cleared.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := cleared.Load(); n != 1 {
+		t.Fatalf("%d Retry callers claimed the clear, want exactly 1", n)
+	}
+
+	// Phase 3: concurrent ModelFor after the heal — one retrain, all served.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.ModelFor(ar); err != nil {
+				t.Errorf("ModelFor after Retry: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := r.Err(ar.Name()); err != nil {
+		t.Fatalf("success did not replace the cached error: %v", err)
+	}
+	if ctr := r.Counters(); ctr.TrainRuns != 2 {
+		t.Fatalf("TrainRuns = %d after the healed retrain, want 2", ctr.TrainRuns)
+	}
+}

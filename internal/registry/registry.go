@@ -15,6 +15,7 @@
 package registry
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -37,6 +38,50 @@ import (
 // same architecture — expected (and skippable) on a reload rescan.
 var ErrAlreadyLoaded = errors.New("model already registered")
 
+// Provenance records how a slot's model was obtained — the degradation
+// ladder rung that answered: fetched from a ring peer, trained locally, or
+// pre-loaded from disk. Surfaced per arch on /v1/archs and aggregated in
+// /metrics.
+type Provenance string
+
+const (
+	ProvLoaded  Provenance = "loaded"  // pre-loaded from a model file (or Put)
+	ProvTrained Provenance = "trained" // trained locally on demand
+	ProvShipped Provenance = "shipped" // fetched from a ring peer's /v1/model
+)
+
+// Permanent marks err as non-retryable: re-running the work that produced
+// it returns the same answer until an operator intervenes (a peer serving a
+// corrupt or version-skewed model payload, say — re-fetching gets the same
+// bad bytes). The registry parks permanent fetch failures in the failed
+// state, where they answer instantly until Retry or Put heals the slot;
+// unmarked (transport-class) failures leave the slot idle so the next
+// request simply tries again.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// IsPermanent reports whether err (or anything it wraps) was marked by
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// FetchFunc obtains a trained model for an architecture name from outside
+// this process — in the daemon, from the ring owner's /v1/model endpoint.
+// It returns the model, the source it came from (a peer URL), and an error
+// optionally marked Permanent to control the retry policy.
+type FetchFunc func(name string) (*gnn.Model, string, error)
+
 // Config sets the budgets used when a model must be trained on demand.
 type Config struct {
 	TrainGen traingen.Config // dataset generation (§V)
@@ -56,6 +101,18 @@ type Registry struct {
 
 	mu      sync.Mutex
 	entries map[string]*entry
+	fetch   FetchFunc
+	ctr     Counters
+}
+
+// Counters aggregates the registry's model-acquisition activity for
+// /metrics. TrainRuns counts local training attempts (successful or not),
+// Fetches counts models installed from a peer, FetchErrors counts failed
+// fetch attempts.
+type Counters struct {
+	TrainRuns   int64 `json:"trainRuns"`
+	Fetches     int64 `json:"fetches"`
+	FetchErrors int64 `json:"fetchErrors"`
 }
 
 // trainState is the lifecycle of one architecture slot.
@@ -71,10 +128,14 @@ const (
 // entry is the per-architecture slot.
 type entry struct {
 	state trainState
-	done  chan struct{} // closed when the in-flight training settles (busy only)
+	done  chan struct{} // closed when the in-flight resolution settles (busy only)
 	model *gnn.Model
 	stats traingen.Stats
 	err   error
+
+	prov     Provenance // how model was obtained (ready slots)
+	source   string     // peer URL a shipped model came from
+	fetchErr error      // last failed fetch attempt; kept across idle retries for /v1/archs
 }
 
 // New creates an empty registry.
@@ -107,7 +168,89 @@ func (r *Registry) Put(m *gnn.Model) bool {
 	e.model = m
 	e.stats = traingen.Stats{}
 	e.err = nil
+	e.prov = ProvLoaded
+	e.source = ""
+	e.fetchErr = nil
 	return true
+}
+
+// SetFetch installs the external model source consulted before local
+// training — the daemon wires the cluster's owner-fetch here. Must be set
+// before the registry takes traffic.
+func (r *Registry) SetFetch(fn FetchFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fetch = fn
+}
+
+// Counters snapshots the acquisition counters.
+func (r *Registry) Counters() Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctr
+}
+
+// Info is the observable state of one architecture slot for /v1/archs.
+type Info struct {
+	Ready      bool
+	Provenance Provenance // set when Ready
+	Source     string     // peer URL, shipped models only
+	Err        error      // cached failure of a failed slot
+	FetchErr   error      // last failed fetch attempt, if any
+}
+
+// InfoFor reports how name's slot got (or failed to get) its model.
+func (r *Registry) InfoFor(name string) Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return Info{}
+	}
+	info := Info{FetchErr: e.fetchErr}
+	switch e.state {
+	case stateReady:
+		info.Ready = true
+		info.Provenance = e.prov
+		info.Source = e.source
+	case stateFailed:
+		info.Err = e.err
+	}
+	return info
+}
+
+// ProvenanceCounts tallies ready slots by how their model was obtained.
+func (r *Registry) ProvenanceCounts() map[Provenance]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[Provenance]int{}
+	//lisa:vet-ok maprange integer counters keyed by provenance; addition is commutative, order cannot change the tally
+	for _, e := range r.entries {
+		if e.state == stateReady {
+			out[e.prov]++
+		}
+	}
+	return out
+}
+
+// ModelBytes serializes name's resolved model with gnn.Save — the payload
+// of the daemon's /v1/model endpoint. Slots that are not ready return an
+// error; the endpoint maps it to 404 rather than resolving on demand, so a
+// model fetch can never cascade into training on the serving peer.
+func (r *Registry) ModelBytes(name string) ([]byte, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok || e.state != stateReady {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("registry: no resolved model for %q", name)
+	}
+	m := e.model
+	r.mu.Unlock()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, fmt.Errorf("registry: serializing model for %q: %w", name, err)
+	}
+	return buf.Bytes(), nil
 }
 
 // LoadFile reads one model file saved by lisa-train / gnn.Save and registers
@@ -205,15 +348,25 @@ func (r *Registry) Retry(name string) bool {
 	}
 	e.state = stateIdle
 	e.err = nil
+	e.fetchErr = nil
 	return true
 }
 
-// ModelFor returns the model for ar, training it on first use when the
-// config allows (training-data generation + four-network training, §V and
-// §IV). Safe for concurrent use; each architecture trains at most once. A
-// failed training run is cached: later calls return the same error until
-// Put or Retry heals the slot, so one bad target cannot wedge its waiters
-// or retrain per request.
+// ModelFor returns the model for ar, resolving it on first use down the
+// degradation ladder: fetch from the configured external source (SetFetch —
+// the ring owner's serialized model), then local training when the config
+// allows (training-data generation + four-network training, §V and §IV),
+// then an error. Safe for concurrent use; the busy state singleflights
+// resolution, so N concurrent callers for one architecture trigger one
+// fetch and at most one training run.
+//
+// Failure caching follows the error class. A failed training run or a
+// Permanent fetch failure (corrupt or version-skewed payload — re-fetching
+// returns the same bytes) parks the slot in failed, where it answers every
+// later call instantly until Put or Retry heals it. A transport-class fetch
+// failure with no training fallback leaves the slot idle: the next request
+// simply retries, which is cheap because the cluster's backoff gating
+// answers ErrPeerDown without a dial while the peer stays down.
 func (r *Registry) ModelFor(ar arch.Arch) (*gnn.Model, error) {
 	name := ar.Name()
 	for {
@@ -234,8 +387,9 @@ func (r *Registry) ModelFor(ar arch.Arch) (*gnn.Model, error) {
 			<-done
 			continue // re-read the settled state
 		}
-		// Idle: either train here or report that we may not.
-		if !r.cfg.TrainOnDemand {
+		// Idle: resolve here, or report that no rung of the ladder may run.
+		fetch := r.fetch
+		if fetch == nil && !r.cfg.TrainOnDemand {
 			r.mu.Unlock()
 			return nil, fmt.Errorf("registry: no model loaded for %q and on-demand training is disabled", name)
 		}
@@ -243,20 +397,72 @@ func (r *Registry) ModelFor(ar arch.Arch) (*gnn.Model, error) {
 		e.done = make(chan struct{})
 		r.mu.Unlock()
 
-		m, stats, err := r.train(ar)
+		m, stats, prov, source, err := r.resolve(fetch, ar)
 
 		r.mu.Lock()
-		if err != nil {
-			e.state = stateFailed
-			e.err = err
-		} else {
+		switch {
+		case m != nil:
 			e.state = stateReady
 			e.model, e.stats, e.err = m, stats, nil
+			e.prov, e.source = prov, source
+			if prov == ProvShipped {
+				// A trained install keeps the fetch trace: /v1/archs then
+				// explains why the ladder fell through to local training.
+				e.fetchErr = nil
+			}
+		case IsPermanent(err) || prov == ProvTrained:
+			// Training failures and permanent fetch failures cache: re-running
+			// them returns the same answer at real cost.
+			e.state = stateFailed
+			e.err = err
+		default:
+			// Transport-class fetch failure, no training fallback: back to
+			// idle so the next request retries against a possibly-healed ring.
+			e.state = stateIdle
+			e.err = nil
 		}
 		close(e.done)
 		e.done = nil
 		r.mu.Unlock()
+		if m == nil {
+			return nil, err
+		}
 	}
+}
+
+// resolve runs the acquisition ladder outside the registry lock and
+// reports what it got: the model plus its provenance, or the error of the
+// last rung tried (prov then tells the caller which rung failed).
+func (r *Registry) resolve(fetch FetchFunc, ar arch.Arch) (*gnn.Model, traingen.Stats, Provenance, string, error) {
+	name := ar.Name()
+	var fetchErr error
+	if fetch != nil {
+		m, source, err := fetch(name)
+		r.mu.Lock()
+		if err == nil {
+			r.ctr.Fetches++
+			r.mu.Unlock()
+			return m, traingen.Stats{}, ProvShipped, source, nil
+		}
+		r.ctr.FetchErrors++
+		r.entries[name].fetchErr = err // slot exists and is busy-held by us
+		r.mu.Unlock()
+		fetchErr = err
+	}
+	if !r.cfg.TrainOnDemand {
+		if fetchErr != nil {
+			return nil, traingen.Stats{}, ProvShipped, "", fetchErr
+		}
+		return nil, traingen.Stats{}, "", "", fmt.Errorf("registry: no model loaded for %q and on-demand training is disabled", name)
+	}
+	r.mu.Lock()
+	r.ctr.TrainRuns++
+	r.mu.Unlock()
+	m, stats, err := r.train(ar)
+	if err != nil {
+		return nil, traingen.Stats{}, ProvTrained, "", err
+	}
+	return m, stats, ProvTrained, "", nil
 }
 
 // train runs one on-demand training pass outside the registry lock. A panic

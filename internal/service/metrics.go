@@ -183,6 +183,10 @@ type (
 		Cluster *ClusterSnapshot `json:"cluster,omitempty"`
 		// Batch is present once /v1/map/batch has been used.
 		Batch *BatchSnapshot `json:"batch,omitempty"`
+		// Models reports model acquisition (the /metrics handler fills it in
+		// from the registry): resolved models by provenance, plus the
+		// degradation-ladder counters.
+		Models *ModelsSnapshot `json:"models,omitempty"`
 		// Faults reports per-site injection counts; present only while a
 		// fault plan is armed (the /metrics handler fills it in).
 		Faults map[fault.Site]int64 `json:"faults,omitempty"`
@@ -224,6 +228,17 @@ type (
 		Self     bool   `json:"self,omitempty"`
 		Healthy  bool   `json:"healthy"`
 		Failures int    `json:"failures,omitempty"`
+	}
+	// ModelsSnapshot reports model acquisition: how many resolved models
+	// came from disk, local training, or a ring peer, and the raw ladder
+	// counters (training runs and fetch attempts, successful or not).
+	ModelsSnapshot struct {
+		Loaded      int   `json:"loaded"`
+		Trained     int   `json:"trained"`
+		Shipped     int   `json:"shipped"`
+		TrainRuns   int64 `json:"trainRuns"`
+		Fetches     int64 `json:"fetches"`
+		FetchErrors int64 `json:"fetchErrors"`
 	}
 	// BatchSnapshot reports /v1/map/batch usage.
 	BatchSnapshot struct {

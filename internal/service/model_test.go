@@ -1,0 +1,369 @@
+// Warm model shipping tests: the /v1/model endpoint, a cold replica
+// inheriting the ring's trained model with zero local training, the
+// model.fetch chaos fallback, and the corrupt-payload containment
+// contract (rejected, cached, healed by reload — never installed).
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/cluster"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/fault"
+	"github.com/lisa-go/lisa/internal/gnn"
+	"github.com/lisa-go/lisa/internal/labels"
+	"github.com/lisa-go/lisa/internal/mapper"
+	"github.com/lisa-go/lisa/internal/registry"
+	"github.com/lisa-go/lisa/internal/traingen"
+)
+
+// quickTrainCfg is a registry config whose on-demand training finishes
+// inside a test run (mirrors the registry package's quickCfg).
+func quickTrainCfg() registry.Config {
+	return registry.Config{
+		TrainGen: traingen.Config{
+			NumDFGs:    12,
+			Iterations: 2,
+			DFG:        dfg.DefaultRandomConfig(),
+			MapOpts:    mapper.Options{MaxMoves: 500},
+			Filter:     labels.DefaultFilterConfig(),
+		},
+		TrainCfg:      gnn.TrainConfig{Epochs: 2, LR: 0.003, WeightDecay: 0.0005},
+		Seed:          1,
+		TrainOnDemand: true,
+	}
+}
+
+// coldNode boots a server with an EMPTY registry behind a live listener
+// whose peer list is urls — the fresh-replica shape the shipping layer
+// exists for. The returned slot must be set before the node takes traffic.
+func coldNode(t *testing.T, reg *registry.Registry, self string, urls []string) *Server {
+	t.Helper()
+	// Tiny backoff windows so recovery phases don't stall the test run.
+	cl, err := cluster.New(cluster.Config{Self: self, Peers: urls,
+		BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 2, Cluster: cl}, reg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func getPath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+func TestModelEndpointServesVerifiedBytes(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+
+	w := getPath(t, h, "/v1/model/cgra-4x4")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	body := w.Body.Bytes()
+	if got := w.Header().Get(cluster.ModelSHAHeader); got != cluster.PayloadSHA(body) {
+		t.Fatalf("%s = %q does not match the body", cluster.ModelSHAHeader, got)
+	}
+	if got := w.Header().Get(cluster.ModelLenHeader); got == "" {
+		t.Fatalf("%s missing", cluster.ModelLenHeader)
+	}
+	m, err := gnn.Load(bytes.NewReader(body), gnn.NewModel(rand.New(rand.NewSource(1)), ""))
+	if err != nil {
+		t.Fatalf("served model does not round-trip through gnn.Load: %v", err)
+	}
+	if m.ArchName != "cgra-4x4" {
+		t.Fatalf("served model names arch %q", m.ArchName)
+	}
+	// Stable bytes: the fetching side's byte-identity contract.
+	if again := getPath(t, h, "/v1/model/cgra-4x4"); !bytes.Equal(again.Body.Bytes(), body) {
+		t.Fatal("two GETs served different bytes for the same model")
+	}
+
+	if w := getPath(t, h, "/v1/model/no-such-arch"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown arch: %d, want 404", w.Code)
+	}
+	if w := getPath(t, h, "/v1/model/"); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty arch: %d, want 400", w.Code)
+	}
+	post := httptest.NewRecorder()
+	h.ServeHTTP(post, httptest.NewRequest(http.MethodPost, "/v1/model/cgra-4x4", nil))
+	if post.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST: %d, want 405", post.Code)
+	}
+
+	// A model-less slot answers 404, never trains. testServer's registry
+	// pre-seeds every arch, so use an empty one.
+	empty := New(Config{}, registry.New(registry.Config{}))
+	t.Cleanup(empty.Close)
+	if w := getPath(t, empty.Handler(), "/v1/model/cgra-4x4"); w.Code != http.StatusNotFound {
+		t.Fatalf("unresolved model: %d, want 404", w.Code)
+	}
+}
+
+// The tentpole acceptance path: a fresh -train=false replica joining a warm
+// ring answers a label-engine request byte-identically to the warm peer,
+// with zero local training runs and provenance=shipped.
+func TestColdReplicaShipsModelFromWarmPeer(t *testing.T) {
+	slots := []*handlerSlot{{}, {}}
+	urls := make([]string, 2)
+	for i, slot := range slots {
+		hts := httptest.NewServer(slot)
+		t.Cleanup(hts.Close)
+		urls[i] = hts.URL
+	}
+
+	warm := testServer(t, Config{Workers: 2}) // every model resolved
+	slots[0].set(warm.Handler())
+
+	coldReg := registry.New(registry.Config{TrainOnDemand: false}) // -train=false, no models
+	cold := coldNode(t, coldReg, urls[1], urls)
+	slots[1].set(cold.Handler())
+
+	labelsBody := `{"arch":"cgra-4x4","kernels":["gemm"]}`
+	want := postPath(t, warm.Handler(), "/v1/labels", labelsBody)
+	if want.Code != http.StatusOK {
+		t.Fatalf("warm node labels: %d: %s", want.Code, want.Body)
+	}
+
+	got := postPath(t, cold.Handler(), "/v1/labels", labelsBody)
+	if got.Code != http.StatusOK {
+		t.Fatalf("cold node labels: %d: %s", got.Code, got.Body)
+	}
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Fatal("cold replica's labels differ from the warm peer's — the shipped model is not the peer's model")
+	}
+
+	ctr := coldReg.Counters()
+	if ctr.TrainRuns != 0 || ctr.Fetches != 1 || ctr.FetchErrors != 0 {
+		t.Fatalf("cold replica counters = %+v, want one fetch and zero training", ctr)
+	}
+
+	// Provenance on /v1/archs: shipped, from the warm peer.
+	var archs []ArchInfo
+	if err := json.Unmarshal(getPath(t, cold.Handler(), "/v1/archs").Body.Bytes(), &archs); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range archs {
+		if a.Name != "cgra-4x4" {
+			continue
+		}
+		found = true
+		if !a.ModelReady || a.ModelProvenance != "shipped" || a.ModelSource != urls[0] {
+			t.Fatalf("archs row = %+v, want ready/shipped from %s", a, urls[0])
+		}
+	}
+	if !found {
+		t.Fatal("cgra-4x4 missing from /v1/archs")
+	}
+
+	// And in /metrics.
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(getPath(t, cold.Handler(), "/metrics").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Models == nil || snap.Models.Shipped != 1 || snap.Models.TrainRuns != 0 || snap.Models.Fetches != 1 {
+		t.Fatalf("models snapshot = %+v, want shipped=1 trainRuns=0 fetches=1", snap.Models)
+	}
+}
+
+func postPath(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, path, strings.NewReader(body)))
+	return w
+}
+
+// Chaos: with model.fetch armed the ladder's next rung answers — local
+// training when allowed, a structured retryable 503 when not.
+func TestChaosModelFetchFault(t *testing.T) {
+	slots := []*handlerSlot{{}, {}}
+	urls := make([]string, 2)
+	for i, slot := range slots {
+		hts := httptest.NewServer(slot)
+		t.Cleanup(hts.Close)
+		urls[i] = hts.URL
+	}
+	warm := testServer(t, Config{Workers: 2})
+	slots[0].set(warm.Handler())
+
+	t.Run("train disabled: structured 503, healed after disarm", func(t *testing.T) {
+		coldReg := registry.New(registry.Config{TrainOnDemand: false})
+		cold := coldNode(t, coldReg, urls[1], urls)
+		slots[1].set(cold.Handler())
+		armFaults(t, "model.fetch=error:1", 1)
+
+		body := `{"arch":"cgra-4x4","kernels":["gemm"]}`
+		w := postPath(t, cold.Handler(), "/v1/labels", body)
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("labels under model.fetch fault = %d: %s", w.Code, w.Body)
+		}
+		var e errorBody
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Fatalf("503 body not structured: %s", w.Body)
+		}
+		if err := coldReg.Err("cgra-4x4"); err != nil {
+			t.Fatalf("transient injected failure was cached as permanent: %v", err)
+		}
+		alive(t, cold.Handler())
+
+		// Disarm and let the peer's backoff lapse: the next request fetches
+		// with no manual Retry — the injected error was transport-class.
+		fault.Deactivate()
+		var last int
+		for i := 0; i < 50; i++ {
+			w = postPath(t, cold.Handler(), "/v1/labels", body)
+			last = w.Code
+			if last == http.StatusOK {
+				break
+			}
+			time.Sleep(5 * time.Millisecond) // let the backoff window lapse
+		}
+		if last != http.StatusOK {
+			t.Fatalf("labels never recovered after disarm: %d: %s", last, w.Body)
+		}
+	})
+
+	t.Run("train enabled: fallback to local training answers 200", func(t *testing.T) {
+		coldReg := registry.New(quickTrainCfg())
+		cold := coldNode(t, coldReg, urls[1], urls)
+		slots[1].set(cold.Handler())
+		armFaults(t, "model.fetch=error:1", 1)
+
+		w := postPath(t, cold.Handler(), "/v1/labels", `{"arch":"cgra-4x4","kernels":["gemm"]}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("labels with training fallback = %d: %s", w.Code, w.Body)
+		}
+		ctr := coldReg.Counters()
+		if ctr.TrainRuns != 1 || ctr.FetchErrors != 1 {
+			t.Fatalf("counters = %+v, want the fetch rung to fail once and training to run once", ctr)
+		}
+		var archs []ArchInfo
+		if err := json.Unmarshal(getPath(t, cold.Handler(), "/v1/archs").Body.Bytes(), &archs); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range archs {
+			if a.Name == "cgra-4x4" {
+				if a.ModelProvenance != "trained" || a.FetchError == "" {
+					t.Fatalf("archs row = %+v, want trained with the fetch error preserved", a)
+				}
+			}
+		}
+		alive(t, cold.Handler())
+	})
+}
+
+// The containment contract for a corrupt shipped payload: never installed,
+// never evicts anything, cached as a permanent failure that /v1/reload
+// re-opens — and the healed source then wins.
+func TestCorruptShippedPayloadRejectedNotPoisoned(t *testing.T) {
+	good := testServer(t, Config{}) // source of a valid payload for the heal phase
+	corrupt := true
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/model/") {
+			http.NotFound(w, r)
+			return
+		}
+		var body []byte
+		if corrupt {
+			// Valid JSON, wire checksum intact — the corruption is only
+			// visible to gnn.Load's envelope validation. This must be
+			// rejected WITHOUT marking the peer down or retrying forever.
+			body = []byte(`{"format":1,"arch":"cgra-4x4","weights":{}}`)
+		} else {
+			rec := httptest.NewRecorder()
+			good.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, r.URL.Path, nil))
+			body = rec.Body.Bytes()
+		}
+		w.Header().Set(cluster.ModelSHAHeader, cluster.PayloadSHA(body))
+		w.Header().Set(cluster.ModelLenHeader, strconv.Itoa(len(body)))
+		_, _ = w.Write(body)
+	}))
+	t.Cleanup(owner.Close)
+
+	slot := &handlerSlot{}
+	hts := httptest.NewServer(slot)
+	t.Cleanup(hts.Close)
+	coldReg := registry.New(registry.Config{TrainOnDemand: false})
+	cold := coldNode(t, coldReg, hts.URL, []string{hts.URL, owner.URL})
+	slot.set(cold.Handler())
+
+	body := `{"arch":"cgra-4x4","kernels":["gemm"]}`
+	w := postPath(t, cold.Handler(), "/v1/labels", body)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("labels over a corrupt payload = %d: %s", w.Code, w.Body)
+	}
+	// Permanent: cached, answered without re-fetching the same bad bytes.
+	if err := coldReg.Err("cgra-4x4"); err == nil || !registry.IsPermanent(err) {
+		t.Fatalf("Err = %v, want the cached permanent validation error", err)
+	}
+	_ = postPath(t, cold.Handler(), "/v1/labels", body)
+	if ctr := coldReg.Counters(); ctr.FetchErrors != 1 {
+		t.Fatalf("FetchErrors = %d after a cached permanent failure, want 1", ctr.FetchErrors)
+	}
+	var archs []ArchInfo
+	if err := json.Unmarshal(getPath(t, cold.Handler(), "/v1/archs").Body.Bytes(), &archs); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range archs {
+		if a.Name == "cgra-4x4" && (a.ModelReady || a.ModelError == "") {
+			t.Fatalf("archs row = %+v, want not-ready with the validation error", a)
+		}
+	}
+
+	// Heal the source, then /v1/reload: the retry is NOT cached away.
+	corrupt = false
+	if w := postPath(t, cold.Handler(), "/v1/reload", ""); w.Code != http.StatusOK {
+		t.Fatalf("reload: %d: %s", w.Code, w.Body)
+	}
+	w = postPath(t, cold.Handler(), "/v1/labels", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("labels after heal+reload = %d: %s", w.Code, w.Body)
+	}
+	if ctr := coldReg.Counters(); ctr.Fetches != 1 || ctr.TrainRuns != 0 {
+		t.Fatalf("counters after heal = %+v, want the healed fetch and still zero training", ctr)
+	}
+	warmRow := getPath(t, cold.Handler(), "/v1/archs")
+	if !strings.Contains(warmRow.Body.String(), `"modelProvenance":"shipped"`) {
+		t.Fatalf("archs after heal: %s", warmRow.Body)
+	}
+	alive(t, cold.Handler())
+}
+
+// A ready model is never evicted by the fetch path: the slot answers from
+// ready state before any fetch can run, whatever the ring serves.
+func TestFetchNeverEvictsWorkingModel(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("a node with a resolved model contacted the ring for it")
+	}))
+	t.Cleanup(owner.Close)
+	slot := &handlerSlot{}
+	hts := httptest.NewServer(slot)
+	t.Cleanup(hts.Close)
+
+	reg := registry.New(registry.Config{TrainOnDemand: false})
+	pre := gnn.NewModel(rand.New(rand.NewSource(1)), "cgra-4x4")
+	reg.Put(pre)
+	s := coldNode(t, reg, hts.URL, []string{hts.URL, owner.URL})
+	slot.set(s.Handler())
+
+	ar, _ := arch.ByName("cgra-4x4")
+	m, err := reg.ModelFor(ar)
+	if err != nil || m != pre {
+		t.Fatalf("ModelFor = (%v, %v), want the resolved model untouched", m, err)
+	}
+}

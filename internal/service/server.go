@@ -237,6 +237,11 @@ func New(cfg Config, reg *registry.Registry) *Server {
 	// singleflight leader is never left waiting.)
 	s.pool.OnPanic(s.panicked)
 	s.batchPool.OnPanic(s.panicked)
+	if cfg.Cluster != nil {
+		// Warm model shipping: before the registry spends a local training
+		// run on a model-less arch, ask the ring for one (model.go).
+		reg.SetFetch(s.fetchModel)
+	}
 	return s
 }
 
@@ -281,6 +286,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/map/batch", s.handleMapBatch)
 	mux.HandleFunc("/v1/labels", s.handleLabels)
 	mux.HandleFunc("/v1/archs", s.handleArchs)
+	mux.HandleFunc("/v1/model/", s.handleModel)
 	mux.HandleFunc("/v1/kernels", s.handleKernels)
 	mux.HandleFunc("/v1/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -909,9 +915,21 @@ type ArchInfo struct {
 	PEs        int    `json:"pes"`
 	MaxII      int    `json:"maxII"`
 	ModelReady bool   `json:"modelReady"`
-	// ModelError is the cached lazy-training failure for this target, if
-	// any; POST /v1/reload clears it for one retry.
+	// ModelProvenance says which ladder rung resolved the model — "loaded"
+	// (from disk), "trained" (locally), or "shipped" (fetched from a ring
+	// peer); empty while no model is resolved. ModelSource is the peer URL a
+	// shipped model came from.
+	ModelProvenance string `json:"modelProvenance,omitempty"`
+	ModelSource     string `json:"modelSource,omitempty"`
+	// ModelError is the cached model-resolution failure for this target, if
+	// any (a training failure or a permanently rejected fetch payload);
+	// POST /v1/reload clears it for one retry.
 	ModelError string `json:"modelError,omitempty"`
+	// FetchError is the last failed model-fetch attempt. Unlike ModelError
+	// it does not imply the slot is stuck: transport-class fetch failures
+	// retry on the next request, and a locally trained model keeps the
+	// trace to explain why the ladder fell through to training.
+	FetchError string `json:"fetchError,omitempty"`
 }
 
 func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) {
@@ -923,14 +941,20 @@ func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) {
 	var out []ArchInfo
 	for _, name := range arch.Names() {
 		ar, _ := arch.ByName(name)
+		slot := s.reg.InfoFor(name)
 		info := ArchInfo{
-			Name:       name,
-			PEs:        ar.NumPEs(),
-			MaxII:      ar.MaxII(),
-			ModelReady: s.reg.Has(name),
+			Name:            name,
+			PEs:             ar.NumPEs(),
+			MaxII:           ar.MaxII(),
+			ModelReady:      slot.Ready,
+			ModelProvenance: string(slot.Provenance),
+			ModelSource:     slot.Source,
 		}
-		if err := s.reg.Err(name); err != nil {
-			info.ModelError = err.Error()
+		if slot.Err != nil {
+			info.ModelError = slot.Err.Error()
+		}
+		if slot.FetchErr != nil {
+			info.FetchError = slot.FetchErr.Error()
 		}
 		out = append(out, info)
 	}
@@ -1110,6 +1134,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Fallbacks: fallbacks,
 			Peers:     peerSnapshots(cl),
 		}
+	}
+	counts := s.reg.ProvenanceCounts()
+	ctr := s.reg.Counters()
+	snap.Models = &ModelsSnapshot{
+		Loaded:      counts[registry.ProvLoaded],
+		Trained:     counts[registry.ProvTrained],
+		Shipped:     counts[registry.ProvShipped],
+		TrainRuns:   ctr.TrainRuns,
+		Fetches:     ctr.Fetches,
+		FetchErrors: ctr.FetchErrors,
 	}
 	if fault.Enabled() {
 		snap.Faults = fault.Counts()

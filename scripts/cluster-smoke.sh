@@ -11,6 +11,18 @@
 #   3. after restarting a node, it serves the request from its persistent
 #      store byte-identically with zero fresh mapper invocations.
 #
+# Then the warm-model-shipping contract, on a second two-node fleet:
+#
+#   4. a fresh -train=false replica joining a warm ring answers a label
+#      request byte-identically to the warm peer, with zero local training
+#      runs and provenance=shipped;
+#   5. with model.fetch armed at prob=1 the same replica answers a
+#      structured 503 (train disabled) or falls back to local training
+#      and answers 200 (train enabled, provenance=trained);
+#   6. a corrupt shipped payload (valid wire checksum, invalid envelope)
+#      is rejected and cached as a permanent failure — and /v1/reload
+#      heals the cache so the fetch is retried, not cached away.
+#
 # Usage: scripts/cluster-smoke.sh [port-base]   (default 8741)
 
 set -euo pipefail
@@ -100,5 +112,105 @@ curl -sf "${URLS[0]}/metrics" | grep -q '"store":{' || {
   echo "restarted node /metrics has no store block" >&2
   exit 1
 }
+
+echo "--- warm model shipping ---"
+
+# A separate two-node fleet: one warm trainer, one cold -train=false
+# replica that must inherit the trained model over the wire.
+WARM="http://127.0.0.1:$((PORT_BASE + 3))"
+COLD="http://127.0.0.1:$((PORT_BASE + 4))"
+WPEERS="$WARM,$COLD"
+lreq='{"arch":"cgra-4x4","kernels":["gemm"]}'
+
+start_cold() { # start_cold <extra flags...>; (re)starts the cold node
+  "$BIN" -addr "127.0.0.1:$((PORT_BASE + 4))" \
+    -peers "$WPEERS" -self "$COLD" "$@" >"$WORK/cold.log" 2>&1 &
+  PIDS[4]=$!
+}
+
+"$BIN" -addr "127.0.0.1:$((PORT_BASE + 3))" -train -train-dfgs 4 -train-epochs 2 \
+  -peers "$WPEERS" -self "$WARM" >"$WORK/warm.log" 2>&1 &
+PIDS[3]=$!
+wait_ready "$WARM"
+
+# Warm the ring: this request trains cgra-4x4's model on the warm node.
+curl -sf -X POST -d "$lreq" -o "$WORK/warm-labels.json" "$WARM/v1/labels"
+
+start_cold -train=false
+wait_ready "$COLD"
+curl -sf -X POST -d "$lreq" -o "$WORK/cold-labels.json" "$COLD/v1/labels"
+cmp "$WORK/warm-labels.json" "$WORK/cold-labels.json"
+echo "cold replica's labels byte-identical to the warm peer's"
+
+cold_metrics="$(curl -sf "$COLD/metrics")"
+echo "$cold_metrics" | grep -q '"trainRuns":0' || {
+  echo "cold replica trained locally; wanted a shipped model" >&2
+  exit 1
+}
+echo "$cold_metrics" | grep -q '"fetches":1' || {
+  echo "cold replica /metrics does not record exactly one model fetch" >&2
+  exit 1
+}
+curl -sf "$COLD/v1/archs" | grep -q '"modelProvenance":"shipped"' || {
+  echo "cold replica does not report provenance=shipped" >&2
+  exit 1
+}
+echo "cold replica: 0 train runs, 1 fetch, provenance=shipped"
+
+# model.fetch armed, train disabled: the ladder bottoms out at a
+# structured 503, and the daemon stays alive.
+kill "${PIDS[4]}"; wait "${PIDS[4]}" 2>/dev/null || true
+start_cold -train=false -faults 'model.fetch=error:1'
+wait_ready "$COLD"
+code="$(curl -s -o "$WORK/f503.json" -w '%{http_code}' -X POST -d "$lreq" "$COLD/v1/labels")"
+test "$code" -eq 503
+grep -q '"error"' "$WORK/f503.json"
+curl -sf "$COLD/healthz" >/dev/null
+echo "model.fetch armed + train disabled: structured 503, daemon alive"
+
+# model.fetch armed, train enabled: fallback-to-train answers 200 with
+# provenance=trained and the failed fetch on record.
+kill "${PIDS[4]}"; wait "${PIDS[4]}" 2>/dev/null || true
+start_cold -train -train-dfgs 4 -train-epochs 2 -faults 'model.fetch=error:1'
+wait_ready "$COLD"
+curl -sf -X POST -d "$lreq" -o "$WORK/trained-labels.json" "$COLD/v1/labels"
+archs="$(curl -sf "$COLD/v1/archs")"
+echo "$archs" | grep -q '"modelProvenance":"trained"' || {
+  echo "fallback-to-train did not report provenance=trained" >&2
+  exit 1
+}
+echo "$archs" | grep -q '"fetchError"' || {
+  echo "the failed fetch rung left no trace on /v1/archs" >&2
+  exit 1
+}
+echo "model.fetch armed + train enabled: 200 via local training"
+
+# Corrupt shipped payload: valid wire checksum, invalid envelope. The
+# replica must reject it (503 + cached validation error), and /v1/reload
+# must heal the cache so the fetch is retried rather than cached away.
+go build -o bin/lisa-fakeowner ./scripts/fakeowner
+FAKE="http://127.0.0.1:$((PORT_BASE + 5))"
+COLD2="http://127.0.0.1:$((PORT_BASE + 6))"
+bin/lisa-fakeowner -addr "127.0.0.1:$((PORT_BASE + 5))" >"$WORK/fake.log" 2>&1 &
+PIDS[5]=$!
+wait_ready "$FAKE"
+"$BIN" -addr "127.0.0.1:$((PORT_BASE + 6))" -train=false \
+  -peers "$FAKE,$COLD2" -self "$COLD2" >"$WORK/cold2.log" 2>&1 &
+PIDS[6]=$!
+wait_ready "$COLD2"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$lreq" "$COLD2/v1/labels")"
+test "$code" -eq 503
+curl -sf "$COLD2/v1/archs" | grep -q 'invalid model payload' || {
+  echo "corrupt payload not surfaced as a validation error on /v1/archs" >&2
+  exit 1
+}
+curl -sf -X POST "$COLD2/v1/reload" >/dev/null
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$lreq" "$COLD2/v1/labels")"
+test "$code" -eq 503
+curl -sf "$COLD2/metrics" | grep -q '"fetchErrors":2' || {
+  echo "reload did not retry the fetch — the validation error was cached away" >&2
+  exit 1
+}
+echo "corrupt payload rejected, cached, and retried after reload"
 
 echo "cluster smoke: OK"

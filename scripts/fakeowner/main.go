@@ -1,0 +1,40 @@
+// Command fakeowner is a smoke-test stand-in for a lisa-serve peer whose
+// model file is corrupt: it answers GET /v1/model/{arch} with a payload
+// whose wire checksum and length headers are VALID but whose envelope
+// fails gnn.Load's structural validation (no weights). The transport layer
+// therefore accepts the bytes and the install layer must reject them — the
+// exact split the corrupt-payload containment contract in cluster-smoke.sh
+// exercises. Not part of the serving product; used only by scripts/.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strconv"
+
+	"github.com/lisa-go/lisa/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8750", "listen address")
+	arch := flag.String("arch", "cgra-4x4", "architecture name to claim in the corrupt envelope")
+	flag.Parse()
+
+	// Format and arch fields parse; the empty weight set fails validation.
+	body := []byte(`{"format":1,"arch":"` + *arch + `","weights":{}}`)
+
+	mux := http.NewServeMux()
+	ok := func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusOK) }
+	mux.HandleFunc("/healthz", ok)
+	mux.HandleFunc("/readyz", ok)
+	mux.HandleFunc("/v1/model/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(cluster.ModelSHAHeader, cluster.PayloadSHA(body))
+		w.Header().Set(cluster.ModelLenHeader, strconv.Itoa(len(body)))
+		_, _ = w.Write(body)
+	})
+
+	log.Printf("fakeowner serving corrupt %s model on %s", *arch, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
