@@ -301,6 +301,57 @@ func BenchmarkMapperCore(b *testing.B) {
 	}
 }
 
+// benchmarkMapperPortfolio is the shared body of the portfolio benchmarks:
+// the unrolled atax kernel (dense enough that seeds disagree about II) with
+// a K-chain restart portfolio. Besides ns/op it reports the mapping-quality
+// metrics the BENCH_mapper.json portfolio block records: mean II, mean
+// routed hops, failures, and a per-seed scalar cost (II·1000 + hops, 10⁶
+// for a failed map). Chain 0 of every portfolio IS the K=1 run, so for any
+// common seed set cost(K=4) ≤ cost(K=1) must hold — the bench script's
+// --check gate enforces it.
+func benchmarkMapperPortfolio(b *testing.B, k int) {
+	g, err := kernels.Unrolled("atax")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ar := arch.NewBaseline4x4()
+	b.ReportAllocs()
+	iiSum, hopSum, fails, costSum := 0, 0, 0, 0
+	for i := 0; i < b.N; i++ {
+		res, err := mapper.Map(ar, g, mapper.AlgLISA, nil,
+			mapper.Options{Seed: int64(i), MaxMoves: 1200, Restarts: k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			fails++
+			costSum += 1_000_000
+			continue
+		}
+		hops := 0
+		for _, h := range res.EdgeHops {
+			hops += h
+		}
+		iiSum += res.II
+		hopSum += hops
+		costSum += res.II*1000 + hops
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(iiSum)/n, "II/op")
+	b.ReportMetric(float64(hopSum)/n, "hops/op")
+	b.ReportMetric(float64(fails)/n, "fails/op")
+	b.ReportMetric(float64(costSum)/n, "cost/op")
+}
+
+// BenchmarkMapperPortfolioK1 is the single-chain baseline of the portfolio
+// comparison (identical to the pre-portfolio annealer on every seed).
+func BenchmarkMapperPortfolioK1(b *testing.B) { benchmarkMapperPortfolio(b, 1) }
+
+// BenchmarkMapperPortfolioK4 races four diverse chains per II attempt. With
+// chains running concurrently its wall-clock per op is close to K1's, while
+// its cost/op is bounded above by K1's on any common seed set.
+func BenchmarkMapperPortfolioK4(b *testing.B) { benchmarkMapperPortfolio(b, 4) }
+
 // BenchmarkPortability_ExtendedTargets sweeps a kernel set over the paper's
 // six accelerators plus the torus and heterogeneous CGRA variants with the
 // list-scheduling, SA and LISA engines — the "new accelerator, no manual

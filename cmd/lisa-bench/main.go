@@ -7,7 +7,10 @@
 //	lisa-bench -exp all                   everything (takes a while)
 //	lisa-bench -exp table2 -profile paper Table II at paper scale (hours)
 //
-// Experiments: fig9a..fig9g, fig10, fig11, fig12, fig13, table2, all.
+// Experiments: fig9a..fig9g, fig10, fig11, fig12, fig13, table2, portfolio,
+// all. "portfolio" is not a paper figure: it sweeps the mapper's restart
+// width K over the PolyBench kernels (EXPERIMENTS.md quality-vs-wallclock
+// table).
 package main
 
 import (
@@ -23,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig9b", "experiment id (fig9a..g, fig10, fig11, fig12, fig13, table2, all)")
+	exp := flag.String("exp", "fig9b", "experiment id (fig9a..g, fig10, fig11, fig12, fig13, table2, portfolio, all)")
 	profile := flag.String("profile", "quick", "budget profile: quick|paper")
 	seed := flag.Int64("seed", 1, "profile seed")
 	workers := flag.Int("workers", 0, "parallel workers for the experiment grid and training-data generation (0 = all CPUs, 1 = serial); results are identical at any setting")
@@ -47,7 +50,7 @@ func main() {
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = []string{"fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "fig9g",
-			"fig10", "fig11", "table2", "fig12", "fig13"}
+			"fig10", "fig11", "table2", "fig12", "fig13", "portfolio"}
 	}
 	var fig9Cmps []*experiments.Comparison
 	for _, id := range ids {
@@ -87,6 +90,10 @@ func main() {
 			orig, unrolled := ctx.Fig13()
 			must(orig.Render(os.Stdout))
 			must(unrolled.Render(os.Stdout))
+			fmt.Println()
+		case id == "portfolio":
+			sw := ctx.Portfolio(arch.NewBaseline4x4(), nil, nil)
+			must(sw.Render(os.Stdout))
 			fmt.Println()
 		case id == "table2":
 			rows := ctx.Table2(arch.PaperTargets())

@@ -52,6 +52,8 @@ func main() {
 	unroll := flag.Int("unroll", 1, "unrolling factor")
 	seed := flag.Int64("seed", 1, "annealer seed")
 	moves := flag.Int("moves", 2400, "SA movement budget per II")
+	restarts := flag.Int("restarts", 1, "portfolio width: race K diverse annealing chains per II (1 = plain annealer)")
+	workers := flag.Int("workers", 0, "concurrent portfolio chains (<=0: one per CPU; never changes the result)")
 	modelPath := flag.String("model", "", "trained GNN model (from lisa-train)")
 	ilpTime := flag.Duration("ilp-time", 5*time.Second, "ILP time limit per II")
 	stats := flag.Bool("stats", false, "print utilization and the schedule table")
@@ -143,7 +145,7 @@ func main() {
 		Engine: eng,
 		Labels: engine.StaticLabels{L: lbl},
 		Opts: engine.Options{
-			Map: mapper.Options{Seed: *seed, MaxMoves: *moves},
+			Map: mapper.Options{Seed: *seed, MaxMoves: *moves, Restarts: *restarts, Workers: *workers},
 			ILP: ilp.Options{TimeLimitPerII: *ilpTime},
 		},
 		NoFallback: *noFallback,

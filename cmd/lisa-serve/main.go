@@ -79,6 +79,7 @@ func main() {
 	self := flag.String("self", "", "this node's base URL as it appears in -peers")
 	maxBatch := flag.Int("max-batch", 64, "max items per /v1/map/batch request")
 	moves := flag.Int("moves", 2400, "default SA movement budget per II")
+	maxRestarts := flag.Int("max-restarts", 8, "cap on the per-request portfolio width (-1 = uncapped)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request mapping deadline")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on the per-request deadline")
 	trainDFGs := flag.Int("train-dfgs", 36, "random DFGs per on-demand training run")
@@ -162,6 +163,7 @@ func main() {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		MapOpts:         mapper.Options{MaxMoves: *moves},
+		MaxRestarts:     *maxRestarts,
 		MaxDFGNodes:     *maxNodes,
 		MaxDFGEdges:     *maxEdges,
 		ModelsDir:       *modelsDir,

@@ -29,9 +29,11 @@ var WallClock = &Analyzer{
 // is either a deadline check or a metrics/duration measurement.
 var wallclockAllowed = map[string][]string{
 	"internal/mapper": {
-		"Map",       // start time for TimeLimit + Result.Duration
-		"MapGreedy", // Result.Duration measurement
-		"anneal",    // TimeLimit deadline check inside the movement loop
+		"Map",        // start time for TimeLimit + Result.Duration
+		"MapGreedy",  // Result.Duration measurement
+		"anneal",     // TimeLimit deadline check inside the movement loop
+		"runChain",   // portfolio chain's shared-deadline check (same start as Map)
+		"pickWinner", // portfolio Result.Duration measurement
 	},
 	"internal/ilp": {
 		"Map",     // Result.Duration measurement

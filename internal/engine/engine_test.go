@@ -234,3 +234,44 @@ func TestRunRejectsUnknownEngine(t *testing.T) {
 		t.Fatal("Run accepted an unknown engine")
 	}
 }
+
+// Restarts flows through engine.Run into the mapper: a K-chain request
+// produces a portfolio-labeled result on the healthy path, and a race whose
+// every chain is poisoned walks the degradation ladder (the sa rung derives
+// the same chain seeds, so it is equally poisoned) down to greedy, which
+// ignores Restarts.
+func TestRunPortfolioRestartsFlowAndAllPoisonedLadder(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	g := kernels.MustByName("gemm")
+	opts := Options{Map: mapper.Options{Seed: 3, MaxMoves: 800, Restarts: 4}}
+
+	rr, err := Run(ar, g, Request{Engine: SA, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.OK || rr.Engine != SA {
+		t.Fatalf("engine=%s ok=%v, want a healthy sa portfolio result", rr.Engine, rr.OK)
+	}
+	if rr.Portfolio == nil || rr.Portfolio.Restarts != 4 {
+		t.Fatalf("portfolio info did not survive the engine layer: %+v", rr.Portfolio)
+	}
+
+	plan, err := fault.ParsePlan("mapper.portfolio=error:1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Activate(plan); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Deactivate()
+	rr, err = Run(ar, g, Request{Engine: LISA, Labels: StaticLabels{}, Opts: opts})
+	if err != nil {
+		t.Fatalf("ladder leaked the all-chains-poisoned fault: %v", err)
+	}
+	if rr.Engine != Greedy || !rr.OK {
+		t.Fatalf("engine=%s ok=%v, want a valid greedy mapping", rr.Engine, rr.OK)
+	}
+	if len(rr.Degraded) != 2 {
+		t.Fatalf("degradation chain = %v", rr.Degraded)
+	}
+}

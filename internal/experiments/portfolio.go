@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/kernels"
+	"github.com/lisa-go/lisa/internal/mapper"
+	"github.com/lisa-go/lisa/internal/parallel"
+)
+
+// PortfolioSweep compares mapping quality and wall-clock across portfolio
+// widths (mapper.Options.Restarts) at a fixed per-chain movement budget.
+// It is the quality-vs-wallclock companion to BenchmarkMapperPortfolio:
+// chain 0 of every portfolio is exactly the K=1 run, so quality is
+// monotone in K by construction, while wall-clock grows with the number
+// of chains that do not fit the machine's cores.
+type PortfolioSweep struct {
+	Arch    arch.Arch
+	Ks      []int
+	Kernels []string
+	Rows    []PortfolioRow
+}
+
+// PortfolioRow holds one kernel's cells, keyed by portfolio width.
+type PortfolioRow struct {
+	Kernel string
+	Cells  map[int]PortfolioCell
+}
+
+// PortfolioCell is one (kernel, K) measurement.
+type PortfolioCell struct {
+	OK       bool
+	II       int
+	Hops     int // total route hops across DFG edges (valid when OK)
+	Winner   int // index of the winning chain (0 for K=1)
+	Variant  string
+	Duration time.Duration
+}
+
+// DefaultPortfolioKs is the width ladder reported in EXPERIMENTS.md.
+var DefaultPortfolioKs = []int{1, 2, 4, 8}
+
+// Portfolio maps every kernel with the LISA engine at each width in ks
+// (DefaultPortfolioKs if empty) on ar. Each (kernel, K) cell is an
+// independent mapper.Map call with the profile's seed, so cells are
+// deterministic and scheduling-independent; the grid fans out over
+// Profile.Workers like the other figures.
+func (c *Context) Portfolio(ar arch.Arch, kernelNames []string, ks []int) *PortfolioSweep {
+	if len(ks) == 0 {
+		ks = append([]int(nil), DefaultPortfolioKs...)
+	}
+	if len(kernelNames) == 0 {
+		kernelNames = kernels.Names()
+	}
+	sw := &PortfolioSweep{Arch: ar, Ks: ks, Kernels: kernelNames}
+	sw.Rows = make([]PortfolioRow, len(kernelNames))
+
+	type cellKey struct{ kernel, k int }
+	grid := make([]cellKey, 0, len(kernelNames)*len(ks))
+	for ki := range kernelNames {
+		sw.Rows[ki] = PortfolioRow{Kernel: kernelNames[ki], Cells: map[int]PortfolioCell{}}
+		for wi := range ks {
+			grid = append(grid, cellKey{ki, wi})
+		}
+	}
+	cells := make([]PortfolioCell, len(grid))
+
+	// Train (or fetch) the model once up front so concurrent cells don't
+	// serialize on the registry's per-architecture lock.
+	c.ModelFor(ar)
+
+	parallel.ForEach(c.Profile.Workers, len(grid), func(i int) {
+		gk := grid[i]
+		g := kernels.MustByName(kernelNames[gk.kernel])
+		lbl := c.predictLabels(ar, g)
+		opts := c.Profile.MapOpts
+		opts.Seed = c.Profile.Seed
+		opts.Restarts = ks[gk.k]
+		res, err := mapper.Map(ar, g, mapper.AlgLISA, lbl, opts)
+		if err != nil {
+			cells[i] = PortfolioCell{}
+			return
+		}
+		cell := PortfolioCell{OK: res.OK, II: res.II, Duration: res.Duration}
+		if res.OK {
+			for _, h := range res.EdgeHops {
+				cell.Hops += h
+			}
+		}
+		if res.Portfolio != nil {
+			cell.Winner = res.Portfolio.Winner
+			cell.Variant = res.Portfolio.Variant
+		}
+		cells[i] = cell
+	})
+	for i, gk := range grid {
+		sw.Rows[gk.kernel].Cells[ks[gk.k]] = cells[i]
+	}
+	return sw
+}
+
+// Render writes the quality-vs-wallclock table: per kernel, II at each
+// width, then the geomean wall-clock ratio of each width against K=1.
+func (sw *PortfolioSweep) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Portfolio annealing — %s, LISA engine (II / total route hops; 0 = cannot map)\n", sw.Arch.Name())
+	fmt.Fprintf(&b, "%-12s", "kernel")
+	for _, k := range sw.Ks {
+		fmt.Fprintf(&b, "%14s", fmt.Sprintf("K=%d", k))
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range sw.Rows {
+		fmt.Fprintf(&b, "%-12s", r.Kernel)
+		for _, k := range sw.Ks {
+			cell := r.Cells[k]
+			if cell.OK {
+				fmt.Fprintf(&b, "%14s", fmt.Sprintf("%d / %d", cell.II, cell.Hops))
+			} else {
+				fmt.Fprintf(&b, "%14s", "0")
+			}
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	for _, k := range sw.Ks {
+		if k == 1 {
+			continue
+		}
+		imp, ratio := sw.Against(1, k)
+		fmt.Fprintf(&b, "K=%d vs K=1: II improved on %d/%d kernels, wall-clock x%.2f\n",
+			k, imp, len(sw.Rows), ratio)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Against compares width k against width base: the number of kernels where
+// k achieves a strictly lower II (or maps where base cannot), and the
+// median per-kernel wall-clock ratio k/base. Median rather than mean keeps
+// one slow kernel from dominating the single summary number.
+func (sw *PortfolioSweep) Against(base, k int) (improved int, clockRatio float64) {
+	var ratios []float64
+	for _, r := range sw.Rows {
+		cb, ck := r.Cells[base], r.Cells[k]
+		if ck.OK && (!cb.OK || ck.II < cb.II) {
+			improved++
+		}
+		if cb.Duration > 0 && ck.Duration > 0 {
+			ratios = append(ratios, float64(ck.Duration)/float64(cb.Duration))
+		}
+	}
+	if len(ratios) == 0 {
+		return improved, 0
+	}
+	sort.Float64s(ratios)
+	return improved, ratios[len(ratios)/2]
+}

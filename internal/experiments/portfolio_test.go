@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lisa-go/lisa/internal/arch"
+)
+
+// The portfolio sweep is deterministic across worker counts, never maps
+// worse at a larger width (chain 0 IS the smaller-width run), and renders
+// the quality-vs-wallclock table EXPERIMENTS.md embeds.
+func TestPortfolioSweepShapeAndMonotonicity(t *testing.T) {
+	ar := arch.NewBaseline4x4()
+	names := []string{"gemm", "atax", "bicg"}
+
+	c := NewContext(testProfile())
+	sw := c.Portfolio(ar, names, []int{1, 2, 4})
+	if len(sw.Rows) != len(names) {
+		t.Fatalf("rows = %d, want %d", len(sw.Rows), len(names))
+	}
+	mapped := 0
+	for _, r := range sw.Rows {
+		for _, k := range sw.Ks {
+			cell, ok := r.Cells[k]
+			if !ok {
+				t.Fatalf("%s: missing K=%d cell", r.Kernel, k)
+			}
+			if cell.OK {
+				mapped++
+			}
+		}
+		c1, c4 := r.Cells[1], r.Cells[4]
+		if c1.OK && (!c4.OK || c4.II > c1.II) {
+			t.Errorf("%s: K=4 II=%d (ok=%v) worse than K=1 II=%d",
+				r.Kernel, c4.II, c4.OK, c1.II)
+		}
+		if c1.Winner != 0 || c1.Variant != "" {
+			t.Errorf("%s: K=1 cell carries portfolio metadata: winner=%d variant=%q",
+				r.Kernel, c1.Winner, c1.Variant)
+		}
+	}
+	if mapped < 6 {
+		t.Errorf("only %d/9 cells mapped", mapped)
+	}
+
+	// Identical results (timing aside) on the exact serial path.
+	serial := testProfile()
+	serial.Workers = 1
+	sw2 := NewContext(serial).Portfolio(ar, names, []int{1, 2, 4})
+	for i, r := range sw.Rows {
+		for _, k := range sw.Ks {
+			a, b := r.Cells[k], sw2.Rows[i].Cells[k]
+			a.Duration, b.Duration = 0, 0
+			if a != b {
+				t.Errorf("%s K=%d differs across worker counts: %+v vs %+v", r.Kernel, k, a, b)
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if err := sw.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Portfolio annealing", "gemm", "K=4", "wall-clock"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

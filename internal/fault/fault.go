@@ -50,12 +50,17 @@ const (
 	StoreWrite     Site = "store.write"     // persistent result-store write (fires as a torn write)
 	PeerRPC        Site = "peer.rpc"        // cluster peer proxy call / health probe
 	ModelFetch     Site = "model.fetch"     // trained-model fetch from a ring peer
+	// MapperPortfolio fires per portfolio chain, streamed by the chain's
+	// derived seed: a sub-1 probability poisons a deterministic strict
+	// subset of a restart race, which must degrade to the surviving
+	// chains' winner rather than fail the request.
+	MapperPortfolio Site = "mapper.portfolio"
 )
 
 // Sites lists every instrumented site in stable order.
 func Sites() []Site {
 	return []Site{RegistryLoad, GNNTrain, MapperAnneal, RouterDijkstra, CacheGet, PoolSubmit,
-		StoreRead, StoreWrite, PeerRPC, ModelFetch}
+		StoreRead, StoreWrite, PeerRPC, ModelFetch, MapperPortfolio}
 }
 
 // Mode selects what an armed site does when it fires.
@@ -227,7 +232,7 @@ func (p *Plan) String() string {
 var active atomic.Pointer[Plan]
 
 // injected counts fires per site; slot order matches Sites().
-var injected [10]atomic.Int64
+var injected [11]atomic.Int64
 
 func siteIndex(s Site) int {
 	for i, k := range Sites() {

@@ -47,7 +47,25 @@ type Options struct {
 	Alpha        float64 // α in σ = max{1, α·T − Acc} (Algorithm 1 line 7)
 	MaxII        int     // override of the architecture's max II (0 = arch)
 	TimeLimit    time.Duration
+
+	// Restarts is the portfolio width K: the number of diverse annealing
+	// chains raced per II attempt (see portfolio.go). 0 and 1 both mean the
+	// plain single-chain annealer; K > 1 races chain 0 (identical to the
+	// single-chain run) against K−1 variants with splitmix64-derived seeds.
+	// Restarts changes the result, so it is part of Normalized() and of the
+	// service cache key. Clamped to MaxRestarts.
+	Restarts int
+	// Workers bounds how many portfolio chains run concurrently (<= 0: one
+	// per CPU). It trades wall-clock only — equal-seed output is
+	// byte-identical at any worker count — so it is NOT part of the cache
+	// key.
+	Workers int
 }
+
+// MaxRestarts bounds the portfolio width a single Map call will run;
+// withDefaults clamps Restarts to it. The serving daemon applies its own
+// (configurable, lower) admission cap before this one.
+const MaxRestarts = 64
 
 // DefaultOptions returns the budget profile used by tests and quick
 // experiments. The Paper profile in internal/experiments scales MaxMoves up.
@@ -58,6 +76,7 @@ func DefaultOptions() Options {
 		InitTemp:     40,
 		Cool:         0.92,
 		Alpha:        0.15,
+		Restarts:     1,
 	}
 }
 
@@ -78,6 +97,12 @@ func (o Options) withDefaults() Options {
 	if o.Alpha == 0 {
 		o.Alpha = d.Alpha
 	}
+	if o.Restarts < 1 {
+		o.Restarts = 1
+	}
+	if o.Restarts > MaxRestarts {
+		o.Restarts = MaxRestarts
+	}
 	return o
 }
 
@@ -97,10 +122,18 @@ type Result struct {
 	Duration    time.Duration
 	TriedIIs    []int // the II values attempted, in order
 
-	// DeadlineExceeded reports that the time budget expired before a valid
-	// mapping was found: the II sweep was cut short (or its last attempt
-	// truncated) by Options.TimeLimit. Always false when OK.
+	// DeadlineExceeded reports that Options.TimeLimit expired before the run
+	// finished: the II sweep was cut short (or its last attempt truncated).
+	// Single-chain runs can only set it on failure (always false when OK);
+	// a portfolio run also sets it on an OK result when the deadline aborted
+	// any chain, because the race was not run to completion and the winner
+	// is best-completed-so-far rather than the deterministic fixed point.
+	// Deadline-truncated results are never cached by the service.
 	DeadlineExceeded bool
+	// Portfolio describes the restart race that produced this result; nil
+	// for single-chain runs (Restarts <= 1), keeping their wire bytes
+	// identical to the pre-portfolio format.
+	Portfolio *PortfolioInfo
 	// Degraded names the fallback chain that produced this result (e.g.
 	// "lisa→sa: labels unavailable"). It is written by the engine-level
 	// degradation ladder (internal/engine); direct mapper runs leave it
@@ -134,6 +167,7 @@ func (r *Result) Stats(ar arch.Arch) *labels.MappingStats {
 func Map(ar arch.Arch, g *dfg.Graph, alg Algorithm, lbl *labels.Labels, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	an := dfg.Analyze(g)
+	labelGuided := lbl != nil // caller-supplied GNN labels, not the §V-B fallback
 	if lbl == nil {
 		lbl = labels.Initial(an)
 	}
@@ -148,6 +182,9 @@ func Map(ar arch.Arch, g *dfg.Graph, alg Algorithm, lbl *labels.Labels, opts Opt
 	// the request's time budget before the sweep starts.
 	if err := fault.Inject(fault.MapperAnneal, uint64(opts.Seed)); err != nil {
 		return Result{}, fmt.Errorf("mapper: %s engine: %w", alg, err)
+	}
+	if opts.Restarts > 1 {
+		return mapPortfolio(ar, g, an, alg, lbl, labelGuided, cfg, opts, start)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	maxII := ar.MaxII()

@@ -1,0 +1,513 @@
+// Portfolio annealing: race K diverse restart chains of the incremental SA
+// core and return the best mapping, deterministically.
+//
+// PR 5 made one chain ~6× faster; this layer spends that win on restart
+// diversity instead of a single longer trajectory. Each chain c gets
+//
+//   - a distinct seed: chain 0 keeps Options.Seed verbatim (it IS the
+//     single-chain run, so every portfolio dominates K=1 by construction),
+//     chains c >= 1 use parallel.DeriveSeed(Seed, c);
+//   - a distinct initial placement family (variant): the engine's own
+//     label-guided policy, a greedy list-scheduling seed (the MapGreedy
+//     pass), or uniform-random placement;
+//   - a move budget: with caller-supplied GNN labels the budget tilts
+//     toward label-guided chains in proportion to labelConfidence — the
+//     "learned cost model steers search budget" direction of the SambaNova
+//     placement work applied to LISA's own labels.
+//
+// Chains cooperate through two atomics (portShared): a best-so-far II bound
+// that lets dominated chains abandon early, and a provably-optimal marker —
+// a chain that completes at the resource-minimal II with total hops equal to
+// the admissible lower bound (hopLowerBound) cannot be beaten, so every
+// higher-index chain stops.
+//
+// Determinism argument (the DESIGN.md "Portfolio annealing" section carries
+// the full version): a chain that completes an II attempt was never steered
+// by shared state — abandonment ends an attempt with failure, it never
+// alters placements or the RNG stream — so every completed result equals the
+// result of running that chain alone. A chain abandons only when a completed
+// result strictly dominates everything the chain could still produce
+// (a finished mapping at a strictly lower II, or a hop-optimal mapping at a
+// strictly lower chain index). The winner — minimum over chains of the key
+// (OK desc, II asc, hops asc, chain index asc) — is therefore the same
+// regardless of goroutine scheduling or worker count: the true winner can
+// never be the chain that got abandoned.
+package mapper
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"github.com/lisa-go/lisa/internal/arch"
+	"github.com/lisa-go/lisa/internal/dfg"
+	"github.com/lisa-go/lisa/internal/fault"
+	"github.com/lisa-go/lisa/internal/labels"
+	"github.com/lisa-go/lisa/internal/parallel"
+)
+
+// Chain initial-placement families. Chain 0 is always seedEngine; chains
+// c >= 1 cycle greedy → random → engine so every family appears by K=4.
+const (
+	seedEngine uint8 = iota // the engine's own initial policy (placeAll)
+	seedGreedy              // greedy list-scheduling seed (greedyPass), then anneal
+	seedRandom              // uniform-random initial placement (labels off for the seed)
+)
+
+func variantName(v uint8) string {
+	switch v {
+	case seedGreedy:
+		return "greedy"
+	case seedRandom:
+		return "random"
+	default:
+		return "engine"
+	}
+}
+
+// PortfolioInfo describes the restart race behind a Result. Every field is
+// a pure function of (inputs, options, seed) — worker count and goroutine
+// scheduling never show through — so it is safe to serialize and cache.
+type PortfolioInfo struct {
+	Restarts int    `json:"restarts"` // portfolio width K actually raced
+	Winner   int    `json:"winner"`   // index of the winning chain
+	Variant  string `json:"variant"`  // winning chain's initial-placement family
+	// ProvablyOptimal reports that the winner completed at the
+	// resource-minimal II with total hops equal to HopLowerBound: no
+	// mapping of this DFG on this architecture can beat it on (II, hops).
+	ProvablyOptimal bool `json:"provablyOptimal,omitempty"`
+	// HopLowerBound is the admissible aggregate route-length bound at the
+	// resource-minimal II (see hopLowerBound).
+	HopLowerBound int `json:"hopLowerBound"`
+	// Budgets is the per-chain movement budget allocation.
+	Budgets []int `json:"budgets"`
+}
+
+// portShared is the cross-chain cooperation state: two monotone atomics.
+// Chains only ever *shrink* both values, and a chain consults them only to
+// stop — never to steer a still-running attempt — which is what keeps every
+// completed chain result scheduling-independent.
+type portShared struct {
+	// bestII is the lowest II any chain has completed a valid mapping at.
+	// Every attempt at a strictly higher II is dominated and abandons.
+	bestII atomic.Int64
+	// optimalFrom is the lowest chain index that completed a provably
+	// hop-optimal mapping at the resource-minimal II. Chains with a higher
+	// index abandon: they can at best tie, and a tie loses the index
+	// tie-break. Lower-index chains must run to completion — they could tie
+	// and win.
+	optimalFrom atomic.Int64
+}
+
+// abandoned reports whether chain's attempt at ii can no longer win the
+// race. Polled from the annealing movement loop, so it must stay two plain
+// atomic loads.
+//
+//lisa:hotpath polled every 64 movements by every portfolio chain; must stay allocation-free
+func (sh *portShared) abandoned(chain, ii int) bool {
+	return int64(ii) > sh.bestII.Load() || int64(chain) > sh.optimalFrom.Load()
+}
+
+// publish records a chain's completed mapping: a CAS-min on the II bound,
+// and, when the mapping is provably hop-optimal at the minimal II, a
+// CAS-min on the optimal chain index.
+func (sh *portShared) publish(chain, ii, hops, minII, lb int) {
+	for {
+		cur := sh.bestII.Load()
+		if int64(ii) >= cur || sh.bestII.CompareAndSwap(cur, int64(ii)) {
+			break
+		}
+	}
+	if ii == minII && hops <= lb {
+		for {
+			cur := sh.optimalFrom.Load()
+			if int64(chain) >= cur || sh.optimalFrom.CompareAndSwap(cur, int64(chain)) {
+				break
+			}
+		}
+	}
+}
+
+// chainResult is one chain's contribution to winner selection.
+type chainResult struct {
+	res      Result
+	hops     int  // total routed hops when res.OK
+	optimal  bool // res hit the lower bound at the minimal II
+	deadline bool // the shared TimeLimit cut this chain short
+	err      error
+}
+
+// portfolio is one race: the shared inputs plus the per-chain plan.
+type portfolio struct {
+	ar    arch.Arch
+	g     *dfg.Graph
+	an    *dfg.Analysis
+	alg   Algorithm
+	lbl   *labels.Labels
+	cfg   config
+	opts  Options
+	start time.Time
+
+	minII, maxII int
+	lb           int // admissible aggregate hop lower bound at minII
+	variants     []uint8
+	budgets      []int
+	shared       *portShared
+}
+
+// mapPortfolio races opts.Restarts chains and returns the deterministic
+// winner. Called from Map with normalized options, after engineConfig has
+// applied per-engine budget scaling (so SA-M chains race 10× budgets, same
+// as its single chain) and after the mapper.anneal fault site has passed.
+func mapPortfolio(ar arch.Arch, g *dfg.Graph, an *dfg.Analysis, alg Algorithm,
+	lbl *labels.Labels, labelGuided bool, cfg config, opts Options, start time.Time) (Result, error) {
+
+	k := opts.Restarts
+	maxII := ar.MaxII()
+	if opts.MaxII > 0 && opts.MaxII < maxII {
+		maxII = opts.MaxII
+	}
+	p := &portfolio{
+		ar: ar, g: g, an: an, alg: alg, lbl: lbl, cfg: cfg, opts: opts, start: start,
+		minII: ar.MinII(g), maxII: maxII,
+		shared: &portShared{},
+	}
+	p.shared.bestII.Store(int64(maxII) + 1)
+	p.shared.optimalFrom.Store(int64(k))
+	p.lb = hopLowerBound(ar, g, an, p.minII)
+	p.variants = chainVariants(k)
+	p.budgets = chainBudgets(k, opts.MaxMoves, labelGuided, lbl, p.variants)
+
+	chains := make([]chainResult, k)
+	parallel.ForEach(opts.Workers, k, func(c int) {
+		chains[c] = p.runChain(c)
+	})
+	return p.pickWinner(chains)
+}
+
+// runChain runs one chain's full II sweep in isolation semantics: the only
+// cross-chain influence is the abandonment poll, which can end the chain
+// early but never change what it would have produced. A panicking chain is
+// contained here (before parallel.ForEach's re-raise) and becomes an
+// errored chain — one poisoned chain must degrade to the survivors' winner,
+// never crash the race.
+func (p *portfolio) runChain(c int) (out chainResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = chainResult{err: fmt.Errorf("mapper: %s engine chain %d panicked: %v", p.alg, c, r)}
+		}
+	}()
+	seed := p.opts.Seed
+	if c > 0 {
+		seed = parallel.DeriveSeed(p.opts.Seed, c)
+	}
+	// Fault site mapper.portfolio, streamed by the chain seed: each chain
+	// draws its own fault decision, so a sub-1 probability poisons a strict
+	// subset of the race deterministically.
+	if err := fault.Inject(fault.MapperPortfolio, uint64(seed)); err != nil {
+		return chainResult{err: fmt.Errorf("mapper: %s engine chain %d: %w", p.alg, c, err)}
+	}
+	opts := p.opts
+	opts.MaxMoves = p.budgets[c]
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{}
+	for ii := p.minII; ii <= p.maxII; ii++ {
+		if opts.TimeLimit > 0 && time.Since(p.start) > opts.TimeLimit {
+			out.deadline = true
+			break
+		}
+		if p.shared.abandoned(c, ii) {
+			break
+		}
+		res.TriedIIs = append(res.TriedIIs, ii)
+		st := newState(p.ar, p.g, p.an, ii, p.lbl, p.cfg, opts.Alpha, rng)
+		st.faultToken = uint64(seed)
+		st.shared = p.shared
+		st.chainIdx = c
+		if p.variants[c] == seedGreedy {
+			// Greedy-seeded chain: list-schedule the initial mapping (a
+			// partial placement on failure is fine — the movement loop
+			// repairs from wherever the pass stopped).
+			st.initialPhase = true
+			greedyPass(st, p.an)
+			st.initialPhase = false
+			st.preSeeded = true
+		} else if p.variants[c] == seedRandom {
+			st.randomSeed = true
+		}
+		ok, moves := st.anneal(opts, p.start)
+		res.Moves += moves
+		if st.faultErr != nil {
+			out.err = fmt.Errorf("mapper: %s engine chain %d: %w", p.alg, c, st.faultErr)
+			return out
+		}
+		if ok {
+			res.OK = true
+			res.II = ii
+			res.PE = append([]int(nil), st.pe...)
+			res.Time = append([]int(nil), st.time...)
+			res.EdgeHops = make([]int, p.g.NumEdges())
+			res.Routes = make([][]int, p.g.NumEdges())
+			hops := 0
+			for e, path := range st.routes {
+				res.EdgeHops[e] = len(path) - 1
+				res.Routes[e] = append([]int(nil), path...)
+				hops += len(path) - 1
+			}
+			res.RoutingCost = st.routingCost()
+			out.hops = hops
+			out.optimal = ii == p.minII && hops <= p.lb
+			p.shared.publish(c, ii, hops, p.minII, p.lb)
+			break
+		}
+	}
+	// The deadline can also cut the final II attempt mid-anneal (the
+	// movement loop checks it every 64 moves), in which case the sweep ends
+	// without reaching the loop-top check above.
+	if !res.OK && opts.TimeLimit > 0 && time.Since(p.start) > opts.TimeLimit {
+		out.deadline = true
+	}
+	out.res = res
+	return out
+}
+
+// chainBetter reports whether a beats b under the race's total order:
+// OK first, then lower II, then fewer hops. Ties fall to the caller's
+// ascending-index scan, completing the deterministic (cost, chain index)
+// tie-break.
+func chainBetter(a, b *chainResult) bool {
+	if a.res.OK != b.res.OK {
+		return a.res.OK
+	}
+	if !a.res.OK {
+		return false
+	}
+	if a.res.II != b.res.II {
+		return a.res.II < b.res.II
+	}
+	return a.hops < b.hops
+}
+
+// pickWinner folds the chain results into one Result. All-chains-errored
+// surfaces the lowest-index chain's error (deterministic, and exactly what
+// the engine degradation ladder keys off); otherwise errored chains simply
+// drop out of the race.
+func (p *portfolio) pickWinner(chains []chainResult) (Result, error) {
+	winner, firstErr := -1, -1
+	deadline := false
+	for c := range chains {
+		if chains[c].deadline {
+			deadline = true
+		}
+		if chains[c].err != nil {
+			if firstErr < 0 {
+				firstErr = c
+			}
+			continue
+		}
+		if winner < 0 || chainBetter(&chains[c], &chains[winner]) {
+			winner = c
+		}
+	}
+	if winner < 0 {
+		return Result{}, chains[firstErr].err
+	}
+	w := &chains[winner]
+	res := w.res
+	res.Duration = time.Since(p.start)
+	if deadline {
+		// At least one chain was wall-clock-cut: the race did not run to
+		// completion, so this winner is "best completed before the
+		// deadline", not the deterministic fixed point. Label it so no
+		// tier caches it. (An OK winner still satisfies the engine ladder —
+		// it only degrades on !OK.)
+		res.DeadlineExceeded = true
+	}
+	res.Portfolio = &PortfolioInfo{
+		Restarts:        len(chains),
+		Winner:          winner,
+		Variant:         variantName(p.variants[winner]),
+		ProvablyOptimal: w.optimal,
+		HopLowerBound:   p.lb,
+		Budgets:         p.budgets,
+	}
+	return res, nil
+}
+
+// chainVariants assigns each chain its initial-placement family.
+func chainVariants(k int) []uint8 {
+	out := make([]uint8, k)
+	for c := 1; c < k; c++ {
+		switch (c - 1) % 3 {
+		case 0:
+			out[c] = seedGreedy
+		case 1:
+			out[c] = seedRandom
+		default:
+			out[c] = seedEngine
+		}
+	}
+	return out
+}
+
+// chainBudgets splits the movement budget across chains. Chain 0 always
+// keeps the caller's full MaxMoves — it is the K=1 run, and an intact
+// budget is what makes the portfolio winner provably no worse than the
+// single-chain result. With caller-supplied GNN labels the remaining
+// chains' budgets tilt by labelConfidence: a confident model earns the
+// label-guided (engine/greedy) chains up to +25% movements at the expense
+// of the unguided random explorers, a diffuse one tilts the other way.
+// Without external labels every chain gets the full budget.
+func chainBudgets(k, maxMoves int, labelGuided bool, lbl *labels.Labels, variants []uint8) []int {
+	out := make([]int, k)
+	out[0] = maxMoves
+	conf := 0.0
+	if labelGuided {
+		conf = labelConfidence(lbl)
+	}
+	for c := 1; c < k; c++ {
+		w := 1.0
+		if labelGuided {
+			if variants[c] == seedRandom {
+				w = 1.25 - 0.5*conf // 1.25 … 0.75 as confidence rises
+			} else {
+				w = 0.75 + 0.5*conf // 0.75 … 1.25 as confidence rises
+			}
+		}
+		b := int(math.Round(float64(maxMoves) * w))
+		if b < 64 {
+			b = 64
+		}
+		out[c] = b
+	}
+	return out
+}
+
+// labelConfidence scores a GNN label set in [0, 1]: the mean reciprocal of
+// the predicted temporal mapping distances (label 4). Temporal labels are
+// at least 1 hop; a model predicting tight routes (values near 1) is
+// reading a compact, confident mapping out of the graph, while large
+// predictions say the model expects congestion and detours — budget then
+// shifts from guided chains to unguided exploration. A pure function of
+// the labels, so every derived budget is deterministic.
+func labelConfidence(l *labels.Labels) float64 {
+	if len(l.Temporal) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range l.Temporal {
+		if t < 1 {
+			t = 1
+		}
+		sum += 1 / t
+	}
+	return sum / float64(len(l.Temporal))
+}
+
+// hopLowerBound is an admissible lower bound on the total routed hop count
+// of ANY valid mapping at the resource-minimal II — the certificate behind
+// the portfolio's provable early exit. Two placement-independent facts
+// bound each DFG edge's route length (EdgeHops[e] = time[to] − time[from],
+// the exact-length router's contract):
+//
+//   - dependency: every DFG path u→…→v forces time[v] − time[u] to be at
+//     least the path's length (each edge advances time by ≥ 1), so the
+//     longest u→v path length lower-bounds the direct edge's hop count;
+//   - geometry: a route advances at most one spatial step per hop, so the
+//     hop count is at least the spatial distance between the endpoint PEs —
+//     and hence at least the minimum distance over PE pairs whose FUs can
+//     host the two ops at all (the ShortestHops argument on an empty
+//     fabric).
+//
+// Both hold for every placement, so the edge-wise max of the two, summed
+// over edges, is admissible: a mapping that completes at the minimal II
+// with exactly this many hops cannot be beaten on (II, hops), and the
+// chain that found it may cancel every higher-index chain.
+func hopLowerBound(ar arch.Arch, g *dfg.Graph, an *dfg.Analysis, minII int) int {
+	n := g.NumNodes()
+	topoPos := make([]int, n)
+	for i, v := range an.Topo {
+		topoPos[v] = i
+	}
+
+	// PEs able to host each op kind somewhere in the minII schedule window,
+	// and the minimum spatial distance between hosting PE pairs, both
+	// memoized — kernels use a handful of op kinds.
+	rg := ar.BuildRGraph(minII)
+	numPE := ar.NumPEs()
+	hostPEs := map[uint8][]int{}
+	hosts := func(op uint8) []int {
+		if s, ok := hostPEs[op]; ok {
+			return s
+		}
+		s := []int{}
+		for pe := 0; pe < numPE; pe++ {
+			for c := 0; c < minII; c++ {
+				if rg.Nodes[rg.FUAt(pe, c)].AllowsOp(op) {
+					s = append(s, pe)
+					break
+				}
+			}
+		}
+		hostPEs[op] = s
+		return s
+	}
+	minDist := map[[2]uint8]int{}
+	opDist := func(a, b uint8) int {
+		key := [2]uint8{a, b}
+		if d, ok := minDist[key]; ok {
+			return d
+		}
+		best := -1
+		for _, pa := range hosts(a) {
+			for _, pb := range hosts(b) {
+				if d := ar.SpatialDistance(pa, pb); best < 0 || d < best {
+					best = d
+				}
+			}
+		}
+		if best < 0 {
+			// An op kind no FU hosts: every chain fails anyway, and an
+			// admissible bound must not promise hops a mapping can't have.
+			best = 0
+		}
+		minDist[key] = best
+		return best
+	}
+
+	dist := make([]int, n)
+	total := 0
+	for u := 0; u < n; u++ {
+		if len(g.OutEdges(u)) == 0 {
+			continue
+		}
+		// Longest paths from u, one topo-order DP pass (graphs are small;
+		// this runs once per portfolio Map call).
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[u] = 0
+		for i := topoPos[u]; i < n; i++ {
+			x := an.Topo[i]
+			if dist[x] < 0 {
+				continue
+			}
+			for _, s := range g.Succ(x) {
+				if dist[x]+1 > dist[s] {
+					dist[s] = dist[x] + 1
+				}
+			}
+		}
+		for _, e := range g.OutEdges(u) {
+			v := g.Edges[e].To
+			lb := dist[v] // ≥ 1: the edge itself is a u→v path
+			if d := opDist(uint8(g.Nodes[u].Op), uint8(g.Nodes[v].Op)); d > lb {
+				lb = d
+			}
+			total += lb
+		}
+	}
+	return total
+}

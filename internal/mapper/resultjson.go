@@ -27,6 +27,10 @@ type resultJSON struct {
 	// stay byte-identical to the pre-fault-layer format.
 	DeadlineExceeded bool     `json:"deadlineExceeded,omitempty"`
 	Degraded         []string `json:"degraded,omitempty"`
+	// Portfolio is present only for portfolio runs (Restarts > 1), so
+	// single-chain payloads remain byte-identical to the pre-portfolio
+	// format.
+	Portfolio *PortfolioInfo `json:"portfolio,omitempty"`
 }
 
 // MarshalJSON encodes the result in the stable wire schema. Field order is
@@ -45,6 +49,7 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		TriedIIs:         r.TriedIIs,
 		DeadlineExceeded: r.DeadlineExceeded,
 		Degraded:         r.Degraded,
+		Portfolio:        r.Portfolio,
 	})
 }
 
@@ -58,6 +63,10 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 	if f.OK {
 		if f.II <= 0 {
 			return fmt.Errorf("mapper: decode result: ok with II=%d", f.II)
+		}
+		if f.Portfolio != nil && (f.Portfolio.Winner < 0 || f.Portfolio.Winner >= f.Portfolio.Restarts) {
+			return fmt.Errorf("mapper: decode result: portfolio winner %d outside %d chains",
+				f.Portfolio.Winner, f.Portfolio.Restarts)
 		}
 		if len(f.PE) != len(f.Time) {
 			return fmt.Errorf("mapper: decode result: %d PEs for %d times", len(f.PE), len(f.Time))
@@ -79,6 +88,7 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		TriedIIs:         f.TriedIIs,
 		DeadlineExceeded: f.DeadlineExceeded,
 		Degraded:         f.Degraded,
+		Portfolio:        f.Portfolio,
 	}
 	return nil
 }

@@ -106,6 +106,12 @@ type state struct {
 
 	faultToken uint64 // per-request fault stream token (the annealer seed)
 	faultErr   error  // first injected router fault; aborts the sweep
+
+	// Portfolio hooks (portfolio.go); all zero on single-chain runs.
+	preSeeded  bool        // the chain already built the initial placement (greedy seed)
+	randomSeed bool        // uniform-random initial placement: labels off during the seed
+	shared     *portShared // cross-chain abandonment state; nil outside a portfolio
+	chainIdx   int         // this chain's index in the race
 }
 
 type peUndo struct {
@@ -229,7 +235,9 @@ func (st *state) dist(a, b int) int {
 //lisa:hotpath the SA move/route loop is the mapper's entire runtime; BENCH_mapper.json gates allocs per move
 func (st *state) anneal(opts Options, start time.Time) (bool, int) {
 	st.initialPhase = true
-	st.placeAll()
+	if !st.preSeeded {
+		st.placeAll()
+	}
 	st.routePending()
 	st.initialPhase = false
 
@@ -246,6 +254,12 @@ func (st *state) anneal(opts Options, start time.Time) (bool, int) {
 			return true, moves
 		}
 		if opts.TimeLimit > 0 && moves%64 == 0 && time.Since(start) > opts.TimeLimit {
+			return false, moves
+		}
+		if st.shared != nil && moves%64 == 0 && st.shared.abandoned(st.chainIdx, st.ii) {
+			// Another portfolio chain completed at a strictly lower II (or a
+			// lower-index chain proved hop-optimality): this attempt can no
+			// longer win the race, so stop spending its budget.
 			return false, moves
 		}
 		st.beginTxn()
@@ -279,6 +293,12 @@ func (st *state) anneal(opts Options, start time.Time) (bool, int) {
 
 // useLabels reports whether label guidance applies to the current phase.
 func (st *state) useLabels() bool {
+	if st.randomSeed && st.initialPhase {
+		// Random-variant portfolio chain: the initial placement is uniform
+		// random (vanilla-SA style) regardless of engine; labels apply from
+		// the first movement on.
+		return false
+	}
 	if st.cfg.partial {
 		return st.initialPhase
 	}

@@ -22,8 +22,12 @@ func cacheKey(g *dfg.Graph, archName string, eng engine.Name, opts mapper.Option
 	h := sha256.New()
 	fmt.Fprintf(h, "lisa-serve/v1\narch=%s\nengine=%s\ndeadlineMs=%d\n", archName, eng, deadlineMS)
 	o := opts.Normalized()
-	fmt.Fprintf(h, "opts=seed:%d,maxMoves:%d,movesPerTemp:%d,initTemp:%g,cool:%g,alpha:%g,maxII:%d\n",
-		o.Seed, o.MaxMoves, o.MovesPerTemp, o.InitTemp, o.Cool, o.Alpha, o.MaxII)
+	// Restarts joins the key because the portfolio width changes the result
+	// (normalization maps 0 → 1, so "no restarts requested" and an explicit
+	// K=1 share the single-chain entry). Workers stays out: it can never
+	// change the bytes, only the wall-clock.
+	fmt.Fprintf(h, "opts=seed:%d,maxMoves:%d,movesPerTemp:%d,initTemp:%g,cool:%g,alpha:%g,maxII:%d,restarts:%d\n",
+		o.Seed, o.MaxMoves, o.MovesPerTemp, o.InitTemp, o.Cool, o.Alpha, o.MaxII, o.Restarts)
 	_ = g.WriteCanonical(h) // WriteCanonical only fails if the writer does; hash.Hash never errors
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// /v1/map with "restarts": the portfolio width is admission-capped, joins
+// the cache key (K=1 and "unset" share the single-chain entry, K>1 does
+// not), and portfolio responses carry the deterministic portfolio block.
+func TestMapRestartsCapAndCacheKey(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+
+	// Unset and an explicit K=1 are the same computation — the second
+	// request must hit the entry the first one filled.
+	base := postMap(t, h, `{"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7}`)
+	if base.Code != http.StatusOK {
+		t.Fatalf("base status %d: %s", base.Code, base.Body)
+	}
+	k1 := postMap(t, h, `{"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7,"restarts":1}`)
+	if k1.Code != http.StatusOK {
+		t.Fatalf("restarts=1 status %d: %s", k1.Code, k1.Body)
+	}
+	if got := k1.Header().Get("X-Lisa-Cache"); got != "hit" {
+		t.Fatalf("restarts=1 did not share the single-chain cache entry: X-Lisa-Cache=%q", got)
+	}
+	if !bytes.Equal(base.Body.Bytes(), k1.Body.Bytes()) {
+		t.Fatal("restarts=1 body differs from the unset-restarts body")
+	}
+
+	// K=4 is a different result: a fresh key, a portfolio block on the
+	// wire, and byte-identical re-serving from cache.
+	req4 := `{"kernel":"gemm","arch":"cgra-4x4","engine":"sa","seed":7,"restarts":4}`
+	miss := postMap(t, h, req4)
+	if miss.Code != http.StatusOK {
+		t.Fatalf("restarts=4 status %d: %s", miss.Code, miss.Body)
+	}
+	if got := miss.Header().Get("X-Lisa-Cache"); got != "miss" {
+		t.Fatalf("restarts=4 reused the K=1 cache entry: X-Lisa-Cache=%q", got)
+	}
+	var resp MapResponse
+	if err := json.Unmarshal(miss.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	p := resp.Result.Portfolio
+	if p == nil || p.Restarts != 4 {
+		t.Fatalf("restarts=4 response has no 4-chain portfolio block: %+v", p)
+	}
+	if resp.Result.OK && resp.Result.II > 0 {
+		var baseResp MapResponse
+		if err := json.Unmarshal(base.Body.Bytes(), &baseResp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Result.II > baseResp.Result.II {
+			t.Fatalf("portfolio II=%d worse than single-chain II=%d", resp.Result.II, baseResp.Result.II)
+		}
+	}
+	hit := postMap(t, h, req4)
+	if got := hit.Header().Get("X-Lisa-Cache"); got != "hit" {
+		t.Fatalf("repeated restarts=4 request missed: X-Lisa-Cache=%q", got)
+	}
+	if !bytes.Equal(miss.Body.Bytes(), hit.Body.Bytes()) {
+		t.Fatal("cached portfolio response differs from the original miss")
+	}
+
+	// Admission: the default cap is 8 chains; beyond it (or negative) is a
+	// structured 400, not a queued multi-chain run.
+	for _, body := range []string{
+		`{"kernel":"gemm","arch":"cgra-4x4","engine":"sa","restarts":9}`,
+		`{"kernel":"gemm","arch":"cgra-4x4","engine":"sa","restarts":-1}`,
+	} {
+		w := postMap(t, h, body)
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("bad restarts %s: status %d, want 400", body, w.Code)
+		}
+		if !strings.Contains(w.Body.String(), "restarts") {
+			t.Fatalf("restarts rejection does not name the field: %s", w.Body)
+		}
+	}
+
+	// A raised cap admits wider portfolios.
+	wide := testServer(t, Config{MaxRestarts: 16})
+	w := postMap(t, wide.Handler(), `{"kernel":"gemm","arch":"cgra-4x4","engine":"sa","restarts":9}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("restarts=9 under MaxRestarts=16: status %d: %s", w.Code, w.Body)
+	}
+}

@@ -117,6 +117,11 @@ type Config struct {
 	// MaxUnroll caps the request unroll factor (0: default; negative:
 	// uncapped).
 	MaxUnroll int
+	// MaxRestarts caps the portfolio width a request may ask for
+	// (mapper.Options.Restarts): each restart is one full annealing chain,
+	// so the cap bounds per-request compute the same way MaxUnroll bounds
+	// graph size (0: default; negative: uncapped up to mapper.MaxRestarts).
+	MaxRestarts int
 	// ModelsDir, when set, is rescanned by POST /v1/reload for model files
 	// that appeared after startup.
 	ModelsDir string
@@ -143,6 +148,7 @@ func DefaultConfig() Config {
 		MaxDFGNodes:     512,
 		MaxDFGEdges:     2048,
 		MaxUnroll:       8,
+		MaxRestarts:     8,
 		MapOpts:         mapper.DefaultOptions(),
 		ILPOpts:         ilp.DefaultOptions(),
 	}
@@ -189,6 +195,11 @@ func (c Config) withDefaults() Config {
 		c.MaxUnroll = d.MaxUnroll
 	} else if c.MaxUnroll < 0 {
 		c.MaxUnroll = 0
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = d.MaxRestarts
+	} else if c.MaxRestarts < 0 {
+		c.MaxRestarts = 0
 	}
 	if c.MapOpts == (mapper.Options{}) {
 		c.MapOpts = d.MapOpts
@@ -327,7 +338,12 @@ type MapRequest struct {
 	Seed       *int64          `json:"seed,omitempty"`
 	Unroll     int             `json:"unroll,omitempty"`
 	MaxMoves   int             `json:"maxMoves,omitempty"`
-	DeadlineMs int64           `json:"deadlineMs,omitempty"`
+	// Restarts asks the SA-family engines to race a K-chain restart
+	// portfolio (capped by Config.MaxRestarts; 0 and 1 both mean the plain
+	// single-chain annealer). Part of the cache key: different widths are
+	// different results.
+	Restarts   int   `json:"restarts,omitempty"`
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
 	// Stats additionally computes the utilization report for OK mappings.
 	Stats bool `json:"stats,omitempty"`
 }
@@ -452,10 +468,19 @@ func (s *Server) prepare(raw []byte) (*mapJob, error) {
 	if deadline > s.cfg.MaxDeadline {
 		deadline = s.cfg.MaxDeadline
 	}
+	if job.req.Restarts < 0 {
+		return nil, fmt.Errorf("restarts %d is negative", job.req.Restarts)
+	}
+	if s.cfg.MaxRestarts > 0 && job.req.Restarts > s.cfg.MaxRestarts {
+		return nil, fmt.Errorf("restarts %d exceeds the limit of %d", job.req.Restarts, s.cfg.MaxRestarts)
+	}
 	job.mapOpts = s.cfg.MapOpts
 	job.mapOpts.Seed = seed
 	if job.req.MaxMoves > 0 {
 		job.mapOpts.MaxMoves = job.req.MaxMoves
+	}
+	if job.req.Restarts > 0 {
+		job.mapOpts.Restarts = job.req.Restarts
 	}
 	job.mapOpts.TimeLimit = deadline
 

@@ -23,6 +23,9 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-100x}"
 ALLOC_CEILING="${ALLOC_CEILING:-12000}"
+# The portfolio path races 4 chains, so its steady state is ~4x one chain
+# (currently ~48k on the unrolled-atax workload); the ceiling is ~3x that.
+PORTFOLIO_ALLOC_CEILING="${PORTFOLIO_ALLOC_CEILING:-150000}"
 OUT="${OUT:-BENCH_mapper.json}"
 
 # Seed-implementation numbers (commit f63b491, -benchtime 100x, same machine
@@ -53,6 +56,36 @@ fi
 speedup=$(awk -v a="$SEED_NS" -v b="$ns" 'BEGIN {printf "%.2f", a/b}')
 allocratio=$(awk -v a="$SEED_ALLOCS" -v b="$allocs" 'BEGIN {printf "%.2f", a/b}')
 
+# Portfolio quality-vs-wallclock: K=1 vs K=4 restart chains on the unrolled
+# atax workload over the same seed set. cost/op (II*1000 + hops, 1e6 per
+# failed map) is deterministic — chain 0 of every portfolio IS the K=1 run,
+# so cost(K4) <= cost(K1) must hold on any machine, and --check enforces it.
+# ns/op is informational: chains run concurrently, so on a multi-core box
+# K4 wall-clock approaches K1's while its cost is never worse.
+echo "running BenchmarkMapperPortfolio{K1,K4} (-benchtime $BENCHTIME)..." >&2
+praw=$(go test -run '^$' -bench '^BenchmarkMapperPortfolioK[14]$' -benchtime "$BENCHTIME" -benchmem .)
+echo "$praw" >&2
+
+pfield() { # pfield <benchmark-name> <unit>
+  echo "$praw" | grep "^$1 " | awk -v unit="$2" \
+    '{for (i=1;i<=NF;i++) if ($(i+1)==unit) printf "%s", $i}'
+}
+k1_ns=$(pfield BenchmarkMapperPortfolioK1 "ns/op")
+k1_cost=$(pfield BenchmarkMapperPortfolioK1 "cost/op")
+k1_ii=$(pfield BenchmarkMapperPortfolioK1 "II/op")
+k1_hops=$(pfield BenchmarkMapperPortfolioK1 "hops/op")
+k1_allocs=$(pfield BenchmarkMapperPortfolioK1 "allocs/op")
+k4_ns=$(pfield BenchmarkMapperPortfolioK4 "ns/op")
+k4_cost=$(pfield BenchmarkMapperPortfolioK4 "cost/op")
+k4_ii=$(pfield BenchmarkMapperPortfolioK4 "II/op")
+k4_hops=$(pfield BenchmarkMapperPortfolioK4 "hops/op")
+k4_allocs=$(pfield BenchmarkMapperPortfolioK4 "allocs/op")
+
+if [[ -z "$k1_cost" || -z "$k4_cost" || -z "$k4_allocs" ]]; then
+  echo "bench-mapper: could not parse portfolio benchmark output" >&2
+  exit 1
+fi
+
 cat > "$OUT" <<EOF
 {
   "benchmark": "BenchmarkMapperCore",
@@ -70,10 +103,30 @@ cat > "$OUT" <<EOF
   },
   "speedup": $speedup,
   "alloc_reduction": $allocratio,
-  "alloc_ceiling": $ALLOC_CEILING
+  "alloc_ceiling": $ALLOC_CEILING,
+  "portfolio": {
+    "benchmark": "BenchmarkMapperPortfolio",
+    "workload": "atax unrolled x2, cgra-4x4, lisa engine, 1200 moves/II",
+    "cost_metric": "II*1000 + hops per seed (1e6 per failed map), averaged",
+    "k1": {
+      "ns_per_op": $k1_ns,
+      "cost_per_op": $k1_cost,
+      "mean_ii": $k1_ii,
+      "mean_hops": $k1_hops,
+      "allocs_per_op": $k1_allocs
+    },
+    "k4": {
+      "ns_per_op": $k4_ns,
+      "cost_per_op": $k4_cost,
+      "mean_ii": $k4_ii,
+      "mean_hops": $k4_hops,
+      "allocs_per_op": $k4_allocs
+    },
+    "alloc_ceiling": $PORTFOLIO_ALLOC_CEILING
+  }
 }
 EOF
-echo "wrote $OUT (ns/op=$ns allocs/op=$allocs speedup=${speedup}x allocs ÷${allocratio})" >&2
+echo "wrote $OUT (ns/op=$ns allocs/op=$allocs speedup=${speedup}x allocs ÷${allocratio}; portfolio cost K1=$k1_cost K4=$k4_cost)" >&2
 
 if [[ "$check" == 1 ]]; then
   if (( allocs > ALLOC_CEILING )); then
@@ -81,4 +134,16 @@ if [[ "$check" == 1 ]]; then
     exit 1
   fi
   echo "bench-mapper: allocs/op $allocs within ceiling $ALLOC_CEILING" >&2
+  k4a=${k4_allocs%%.*}
+  if (( k4a > PORTFOLIO_ALLOC_CEILING )); then
+    echo "bench-mapper: FAIL — portfolio allocs/op $k4_allocs exceeds ceiling $PORTFOLIO_ALLOC_CEILING" >&2
+    exit 1
+  fi
+  echo "bench-mapper: portfolio allocs/op $k4_allocs within ceiling $PORTFOLIO_ALLOC_CEILING" >&2
+  if awk -v a="$k4_cost" -v b="$k1_cost" 'BEGIN {exit !(a+0 <= b+0)}'; then
+    echo "bench-mapper: portfolio cost/op K4=$k4_cost <= K1=$k1_cost" >&2
+  else
+    echo "bench-mapper: FAIL — K=4 portfolio cost/op $k4_cost worse than K=1 $k1_cost" >&2
+    exit 1
+  fi
 fi
